@@ -1,0 +1,183 @@
+//! Time-complexity accounting for FDD (Theorem 5).
+//!
+//! Theorem 5 bounds FDD's running time by `O(TD · ID(G) · n · log n)`
+//! synchronized steps: at most `TD` rounds, each needing at most `n` active
+//! trials, each trial costing a leader election of `ID(G) · log n` slots.
+//! This module measures the actual number of synchronized steps of real runs
+//! and relates them to the bound, giving the empirical counterpart of the
+//! theorem (and the data for the `theory_complexity` binary).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use scream_core::{DistributedScheduler, ProtocolConfig, ProtocolKind};
+use scream_netsim::{PropagationModel, RadioEnvironment};
+use scream_topology::{
+    DemandConfig, DemandVector, GridDeployment, LinkDemands, NodeId, RoutingForest,
+};
+
+/// Measured step counts of one protocol run, next to the Theorem 5 bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplexityObservation {
+    /// Protocol variant that was run.
+    pub protocol: String,
+    /// Number of nodes `n`.
+    pub node_count: usize,
+    /// Total traffic demand `TD`.
+    pub total_demand: u64,
+    /// Interference diameter `ID(G)` used to size the SCREAM primitive.
+    pub interference_diameter: usize,
+    /// Total synchronized steps (SCREAM slots + handshake slots + barriers)
+    /// the run executed.
+    pub measured_steps: u64,
+    /// The Theorem 5 bound `TD · ID(G) · n · log2(n)` evaluated for this
+    /// instance.
+    pub theorem_bound: f64,
+}
+
+impl ComplexityObservation {
+    /// Ratio of measured steps to the bound; Theorem 5 promises this is `O(1)`
+    /// (in practice far below 1 because most rounds finish early).
+    pub fn utilization_of_bound(&self) -> f64 {
+        if self.theorem_bound == 0.0 {
+            0.0
+        } else {
+            self.measured_steps as f64 / self.theorem_bound
+        }
+    }
+
+    /// Whether the measured step count respects the bound.
+    pub fn within_bound(&self) -> bool {
+        (self.measured_steps as f64) <= self.theorem_bound
+    }
+}
+
+/// A batch of complexity observations over growing instance sizes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ComplexityReport {
+    /// One observation per instance.
+    pub observations: Vec<ComplexityObservation>,
+}
+
+impl ComplexityReport {
+    /// Measures FDD (and optionally PDD) on square grids of the given sides.
+    pub fn on_grids(sides: &[usize], step_m: f64, include_pdd: bool, seed: u64) -> Self {
+        let mut observations = Vec::new();
+        for &side in sides {
+            observations.push(Self::measure(side, step_m, ProtocolKind::Fdd, seed));
+            if include_pdd {
+                observations.push(Self::measure(
+                    side,
+                    step_m,
+                    ProtocolKind::pdd(0.6),
+                    seed,
+                ));
+            }
+        }
+        Self { observations }
+    }
+
+    fn measure(side: usize, step_m: f64, kind: ProtocolKind, seed: u64) -> ComplexityObservation {
+        let deployment = GridDeployment::new(side, side, step_m).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&deployment);
+        let graph = env.communication_graph();
+        let gateways: Vec<NodeId> = deployment.corner_nodes();
+        let forest =
+            RoutingForest::shortest_path(&graph, &gateways, seed).expect("grid is connected");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let demands =
+            DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
+        let link_demands = LinkDemands::aggregate(&forest, &demands).expect("sizes match");
+
+        let id = env.interference_diameter();
+        let config = ProtocolConfig::paper_default()
+            .with_scream_slots(id.max(1))
+            .with_seed(seed);
+        let scheduler = DistributedScheduler::new(kind, config);
+        let run = scheduler
+            .run(&env, &link_demands)
+            .expect("protocol completes on connected instances");
+
+        let n = deployment.len();
+        let td = link_demands.total_demand();
+        let bound = td as f64 * id.max(1) as f64 * n as f64 * (n as f64).log2().max(1.0);
+        ComplexityObservation {
+            protocol: match kind {
+                ProtocolKind::Fdd => "FDD".to_string(),
+                ProtocolKind::Afdd => "AFDD".to_string(),
+                ProtocolKind::Pdd { .. } => "PDD".to_string(),
+            },
+            node_count: n,
+            total_demand: td,
+            interference_diameter: id,
+            measured_steps: run.timing.total_steps(),
+            theorem_bound: bound,
+        }
+    }
+
+    /// Whether every observation respects the Theorem 5 bound.
+    pub fn all_within_bound(&self) -> bool {
+        !self.observations.is_empty() && self.observations.iter().all(|o| o.within_bound())
+    }
+
+    /// The FDD observations only, in instance order.
+    pub fn fdd_observations(&self) -> Vec<&ComplexityObservation> {
+        self.observations
+            .iter()
+            .filter(|o| o.protocol == "FDD")
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_steps_respect_theorem_5_bound() {
+        let report = ComplexityReport::on_grids(&[3, 4], 150.0, true, 7);
+        assert_eq!(report.observations.len(), 4);
+        assert!(report.all_within_bound(), "{:#?}", report.observations);
+    }
+
+    #[test]
+    fn utilization_is_well_below_one_in_practice() {
+        let report = ComplexityReport::on_grids(&[4], 150.0, false, 3);
+        let fdd = report.fdd_observations();
+        assert_eq!(fdd.len(), 1);
+        assert!(fdd[0].utilization_of_bound() < 0.5);
+        assert!(fdd[0].utilization_of_bound() > 0.0);
+    }
+
+    #[test]
+    fn steps_grow_with_instance_size() {
+        let report = ComplexityReport::on_grids(&[3, 5], 150.0, false, 11);
+        let fdd = report.fdd_observations();
+        assert!(fdd[1].measured_steps > fdd[0].measured_steps);
+        assert!(fdd[1].theorem_bound > fdd[0].theorem_bound);
+    }
+
+    #[test]
+    fn pdd_executes_fewer_steps_than_fdd() {
+        let report = ComplexityReport::on_grids(&[4], 150.0, true, 13);
+        let fdd = report
+            .observations
+            .iter()
+            .find(|o| o.protocol == "FDD")
+            .unwrap();
+        let pdd = report
+            .observations
+            .iter()
+            .find(|o| o.protocol == "PDD")
+            .unwrap();
+        assert!(pdd.measured_steps < fdd.measured_steps);
+    }
+
+    #[test]
+    fn empty_report_is_not_vacuously_within_bound() {
+        assert!(!ComplexityReport::default().all_within_bound());
+    }
+}

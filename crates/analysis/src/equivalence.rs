@@ -1,0 +1,211 @@
+//! FDD ≡ GreedyPhysical equivalence (Theorem 4).
+//!
+//! The approximation bound of the paper is inherited from the centralized
+//! GreedyPhysical algorithm through a structural argument: FDD, run to
+//! completion, produces exactly the schedule GreedyPhysical produces when it
+//! considers edges in decreasing order of their head node's id. This module
+//! provides a harness that checks the equivalence instance-by-instance and
+//! summarizes the comparison (including how far PDD strays from the common
+//! schedule), which is also what the `theory_complexity` and figure binaries
+//! report.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use scream_core::{DistributedScheduler, ProtocolConfig};
+use scream_netsim::{PropagationModel, RadioEnvironment};
+use scream_scheduling::{verify_schedule, EdgeOrdering, GreedyPhysical, ScheduleMetrics};
+use scream_topology::{
+    DemandConfig, DemandVector, Deployment, GridDeployment, LinkDemands, RoutingForest,
+    UniformDeployment,
+};
+
+/// Outcome of comparing FDD against GreedyPhysical on one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalenceOutcome {
+    /// Number of nodes in the instance.
+    pub node_count: usize,
+    /// Total traffic demand of the instance.
+    pub total_demand: u64,
+    /// Length of the centralized GreedyPhysical schedule.
+    pub centralized_length: usize,
+    /// Length of the FDD schedule.
+    pub fdd_length: usize,
+    /// Whether the two schedules are identical slot-by-slot.
+    pub identical: bool,
+    /// Whether both schedules passed feasibility + demand verification.
+    pub both_valid: bool,
+}
+
+/// Aggregated result over a batch of random instances.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EquivalenceReport {
+    /// Per-instance outcomes.
+    pub outcomes: Vec<EquivalenceOutcome>,
+}
+
+impl EquivalenceReport {
+    /// Checks the equivalence on `instances` random grid instances of
+    /// `side × side` nodes (seeded deterministically from `base_seed`).
+    pub fn on_grid_instances(side: usize, step_m: f64, instances: usize, base_seed: u64) -> Self {
+        let outcomes = (0..instances)
+            .filter_map(|i| {
+                let seed = base_seed + i as u64;
+                let deployment = GridDeployment::new(side, side, step_m).build();
+                Self::compare(&deployment, seed)
+            })
+            .collect();
+        Self { outcomes }
+    }
+
+    /// Checks the equivalence on `instances` random uniform (unplanned)
+    /// instances with heterogeneous transmit power.
+    pub fn on_uniform_instances(
+        node_count: usize,
+        region_side_m: f64,
+        instances: usize,
+        base_seed: u64,
+    ) -> Self {
+        let outcomes = (0..instances)
+            .filter_map(|i| {
+                let seed = base_seed + i as u64;
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let deployment = UniformDeployment::new(node_count, region_side_m)
+                    .heterogeneous_power(6.0)
+                    .build_connected(&mut rng, region_side_m / 4.0, 100)
+                    .ok()?;
+                Self::compare(&deployment, seed)
+            })
+            .collect();
+        Self { outcomes }
+    }
+
+    /// Runs the comparison on one deployment. Returns `None` if the SINR
+    /// communication graph is disconnected (possible for unplanned draws with
+    /// heterogeneous power, where one-way links are discarded), since no
+    /// routing forest covering every node exists in that case.
+    fn compare(deployment: &Deployment, seed: u64) -> Option<EquivalenceOutcome> {
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(deployment);
+        let graph = env.communication_graph();
+        if !graph.is_connected() {
+            return None;
+        }
+        let gateways = vec![deployment.corner_nodes()[0]];
+        let forest = RoutingForest::shortest_path(&graph, &gateways, seed)
+            .expect("the communication graph was just checked connected");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let demands =
+            DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
+        let link_demands = LinkDemands::aggregate(&forest, &demands)
+            .expect("demand vector covers exactly the forest nodes");
+
+        let centralized =
+            GreedyPhysical::new(EdgeOrdering::DecreasingHeadId).schedule(&env, &link_demands);
+        let config = ProtocolConfig::paper_default()
+            .with_scream_slots(env.interference_diameter().max(1))
+            .with_seed(seed);
+        let fdd = DistributedScheduler::fdd()
+            .with_config(config)
+            .run(&env, &link_demands)
+            .expect("FDD runs to completion on connected instances");
+
+        let both_valid = verify_schedule(&env, &centralized, &link_demands).is_ok()
+            && verify_schedule(&env, &fdd.schedule, &link_demands).is_ok();
+        Some(EquivalenceOutcome {
+            node_count: deployment.len(),
+            total_demand: link_demands.total_demand(),
+            centralized_length: centralized.length(),
+            fdd_length: fdd.schedule.length(),
+            identical: fdd.schedule == centralized,
+            both_valid,
+        })
+    }
+
+    /// Whether every instance produced identical, valid schedules.
+    pub fn all_equivalent(&self) -> bool {
+        !self.outcomes.is_empty() && self.outcomes.iter().all(|o| o.identical && o.both_valid)
+    }
+
+    /// Fraction of instances on which the schedules were identical.
+    pub fn equivalence_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.identical).count() as f64 / self.outcomes.len() as f64
+    }
+}
+
+/// Compares PDD against the centralized schedule on one grid instance and
+/// returns `(pdd_metrics, centralized_metrics)` — the per-instance data point
+/// behind the "PDD is ~10 points worse" observation of Section VI-B.
+pub fn pdd_vs_centralized(
+    side: usize,
+    step_m: f64,
+    probability: f64,
+    seed: u64,
+) -> (ScheduleMetrics, ScheduleMetrics) {
+    let deployment = GridDeployment::new(side, side, step_m).build();
+    let env = RadioEnvironment::builder()
+        .propagation(PropagationModel::log_distance(3.0))
+        .build(&deployment);
+    let graph = env.communication_graph();
+    let gateways = deployment.corner_nodes();
+    let forest = RoutingForest::shortest_path(&graph, &gateways, seed).expect("grid is connected");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let demands =
+        DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
+    let link_demands = LinkDemands::aggregate(&forest, &demands).expect("sizes match");
+
+    let centralized = GreedyPhysical::paper_baseline().schedule(&env, &link_demands);
+    let config = ProtocolConfig::paper_default()
+        .with_scream_slots(env.interference_diameter().max(1))
+        .with_seed(seed);
+    let pdd = DistributedScheduler::pdd(probability)
+        .with_config(config)
+        .run(&env, &link_demands)
+        .expect("PDD runs to completion");
+    (
+        ScheduleMetrics::compute(&pdd.schedule, &link_demands),
+        ScheduleMetrics::compute(&centralized, &link_demands),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdd_equals_greedy_physical_on_grid_instances() {
+        let report = EquivalenceReport::on_grid_instances(4, 150.0, 3, 10);
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(report.all_equivalent(), "outcomes: {:?}", report.outcomes);
+        assert_eq!(report.equivalence_rate(), 1.0);
+    }
+
+    #[test]
+    fn fdd_equals_greedy_physical_on_unplanned_instances() {
+        let report = EquivalenceReport::on_uniform_instances(16, 600.0, 3, 42);
+        assert!(!report.outcomes.is_empty());
+        assert!(report.all_equivalent(), "outcomes: {:?}", report.outcomes);
+    }
+
+    #[test]
+    fn empty_report_is_not_vacuously_equivalent() {
+        let report = EquivalenceReport::default();
+        assert!(!report.all_equivalent());
+        assert_eq!(report.equivalence_rate(), 0.0);
+    }
+
+    #[test]
+    fn pdd_improvement_does_not_exceed_centralized_by_much() {
+        let (pdd, centralized) = pdd_vs_centralized(4, 150.0, 0.6, 5);
+        // PDD's schedule can never be shorter than the serialized bound allows
+        // and in practice trails the centralized schedule.
+        assert!(pdd.length >= centralized.length);
+        assert!(pdd.improvement_over_linear_pct <= centralized.improvement_over_linear_pct + 1e-9);
+        assert!(centralized.improvement_over_linear_pct > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure 8 pipeline: execution-time accounting as a
+//! function of SCREAM size and interference-diameter parameter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scream_bench::PaperScenario;
+use scream_core::ProtocolKind;
+
+fn bench_exec_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_exec_time");
+    group.sample_size(10);
+    let instance = PaperScenario::grid(5_000.0).with_node_count(25).instantiate(3);
+    for scream_bytes in [15usize, 60] {
+        group.bench_with_input(
+            BenchmarkId::new("fdd_scream_bytes", scream_bytes),
+            &scream_bytes,
+            |b, &bytes| {
+                b.iter(|| {
+                    let config = instance.protocol_config().with_scream_bytes(bytes);
+                    instance.run_protocol_with(ProtocolKind::Fdd, config)
+                })
+            },
+        );
+    }
+    for k in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("fdd_k_slots", k), &k, |b, &k| {
+            b.iter(|| {
+                let config = instance
+                    .protocol_config()
+                    .with_scream_slots(k.max(instance.interference_diameter));
+                instance.run_protocol_with(ProtocolKind::Fdd, config)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_time);
+criterion_main!(benches);

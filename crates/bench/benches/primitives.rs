@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the building blocks: the SCREAM primitive
+//! (physical vs ideal fidelity), leader election, SINR slot-feasibility
+//! checks and the centralized greedy packing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scream_core::{LeaderElection, ProtocolConfig, ScreamChannel, ScreamFidelity};
+use scream_netsim::{PropagationModel, ProtocolTiming, RadioEnvironment};
+use scream_topology::{GridDeployment, Link, NodeId};
+
+fn bench_primitives(c: &mut Criterion) {
+    let deployment = GridDeployment::new(8, 8, 120.0).build();
+    let env = RadioEnvironment::builder()
+        .propagation(PropagationModel::log_distance(3.0))
+        .build(&deployment);
+    let id = env.interference_diameter();
+
+    let mut group = c.benchmark_group("primitives");
+    for fidelity in [ScreamFidelity::Ideal, ScreamFidelity::Physical] {
+        let channel = ScreamChannel::new(
+            &env,
+            &ProtocolConfig::paper_default()
+                .with_scream_slots(id.max(5))
+                .with_fidelity(fidelity),
+        )
+        .unwrap();
+        let mut initial = vec![false; 64];
+        initial[0] = true;
+        group.bench_with_input(
+            BenchmarkId::new("scream_network_or", format!("{fidelity:?}")),
+            &channel,
+            |b, ch| {
+                b.iter(|| {
+                    let mut timing = ProtocolTiming::new();
+                    ch.network_or(&initial, &mut timing)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("leader_election", format!("{fidelity:?}")),
+            &channel,
+            |b, ch| {
+                b.iter(|| {
+                    let mut timing = ProtocolTiming::new();
+                    LeaderElection::new().elect(ch, &vec![true; 64], &mut timing)
+                })
+            },
+        );
+    }
+
+    let links: Vec<Link> = (0..8)
+        .map(|i| Link::new(NodeId::new(i * 8 + 1), NodeId::new(i * 8)))
+        .collect();
+    group.bench_function("sinr_slot_feasible_8_links", |b| {
+        b.iter(|| env.slot_feasible(&links))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

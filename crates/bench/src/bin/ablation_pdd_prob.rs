@@ -1,0 +1,30 @@
+//! Ablation: PDD activation probability sweep beyond the paper's
+//! {0.2, 0.6, 0.8}, reporting schedule quality and execution time.
+//!
+//! Usage: `cargo run --release -p scream-bench --bin ablation_pdd_prob`
+
+use scream_bench::{PaperScenario, Table};
+use scream_core::ProtocolKind;
+
+fn main() {
+    let instance = PaperScenario::grid(5_000.0).with_node_count(64).instantiate(17);
+    let centralized = instance.metrics(&instance.run_centralized());
+    let mut table = Table::new(
+        format!(
+            "Ablation — PDD activation probability (centralized improvement {:.1}%)",
+            centralized.improvement_over_linear_pct
+        ),
+        &["p", "improvement(%)", "time(s)", "tried fraction"],
+    );
+    for p in [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let run = instance.run_protocol(ProtocolKind::pdd(p));
+        let metrics = run.metrics(&instance.link_demands);
+        table.push_row(vec![
+            format!("{p:.2}"),
+            format!("{:.1}", metrics.improvement_over_linear_pct),
+            format!("{:.2}", run.execution_secs()),
+            format!("{:.2}", run.stats.tried_fraction()),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,27 @@
+//! Ablation: how the choice of K (SCREAM slots per invocation) trades
+//! execution time against the safety margin over the true interference
+//! diameter. The schedule itself is unaffected as long as K >= ID(G_S).
+//!
+//! Usage: `cargo run --release -p scream-bench --bin ablation_scream_k`
+
+use scream_bench::{PaperScenario, Table};
+use scream_core::ProtocolKind;
+
+fn main() {
+    let instance = PaperScenario::grid(5_000.0).with_node_count(36).instantiate(5);
+    let id = instance.interference_diameter;
+    let mut table = Table::new(
+        format!("Ablation — K vs execution time (true ID = {id})"),
+        &["K(slots)", "FDD time(s)", "schedule slots"],
+    );
+    for k in [id, id + 2, id + 5, id * 2, id * 4, id * 8] {
+        let config = instance.protocol_config().with_scream_slots(k);
+        let run = instance.run_protocol_with(ProtocolKind::Fdd, config);
+        table.push_row(vec![
+            k.to_string(),
+            format!("{:.2}", run.execution_secs()),
+            run.schedule.length().to_string(),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 4: SCREAM detection error versus SCREAM size on the
+//! simulated Mica2 mote testbed (Section V).
+//!
+//! Usage: `cargo run --release -p scream-bench --bin fig4_mote_error [screams_per_run]`
+
+use scream_bench::figures::{fig4_mote_detection, mote_detection_table};
+
+fn main() {
+    let screams: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let sizes = [2usize, 4, 6, 8, 10, 12, 15, 20, 24, 28, 32, 40];
+    eprintln!("# fig4: 1 initiator + 6 relays + 1 monitor, {screams} SCREAMs per point");
+    let points = fig4_mote_detection(&sizes, screams, 7);
+    println!("{}", mote_detection_table(&points));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 5: the monitor's moving-average RSSI trace for 24-byte
+//! SCREAMs (Section V).
+//!
+//! Usage: `cargo run --release -p scream-bench --bin fig5_mote_rssi`
+
+use scream_bench::figures::{fig5_rssi_trace, rssi_trace_table};
+use scream_netsim::SimTime;
+
+fn main() {
+    eprintln!("# fig5: moving average of the monitor's RSSI, 24-byte SCREAMs, 400 ms window");
+    let trace = fig5_rssi_trace(24, SimTime::from_millis(400), 3);
+    println!("{}", rssi_trace_table(&trace));
+}

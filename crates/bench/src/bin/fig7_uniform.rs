@@ -1,0 +1,23 @@
+//! Regenerates Figure 7: schedule-length improvement for the unplanned
+//! uniform-random topology with heterogeneous transmit power.
+//!
+//! Usage: `cargo run --release -p scream-bench --bin fig7_uniform [runs_per_point]`
+
+use scream_bench::figures::{fig7_uniform_improvement, improvement_table};
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let densities = [1_000.0, 2_500.0, 5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0];
+    eprintln!("# fig7: 64-node unplanned placement, heterogeneous power, {runs} run(s) per density");
+    let rows = fig7_uniform_improvement(&densities, 64, runs, 4048);
+    println!(
+        "{}",
+        improvement_table(
+            "Fig. 7 — Schedule Length Improvement for Uniform Random Placement (unplanned, heterogeneous power)",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 8: protocol execution time versus SCREAM size and
+//! versus the interference-diameter parameter K.
+//!
+//! Usage: `cargo run --release -p scream-bench --bin fig8_exec_time`
+
+use scream_bench::figures::{execution_time_table, fig8_execution_time};
+
+fn main() {
+    let scream_sizes = [5usize, 10, 15, 20, 30, 40, 50, 60];
+    let diameters = [5usize, 10, 15, 20, 30, 40, 50, 60];
+    eprintln!("# fig8: 64-node grid at 5000 nodes/km^2, sweeping SCREAM size and K");
+    let (by_size, by_diameter) = fig8_execution_time(&scream_sizes, &diameters, 64, 77);
+    println!(
+        "{}",
+        execution_time_table(
+            "Fig. 8a — Execution Time vs. SCREAM size",
+            "scream(bytes)",
+            &by_size
+        )
+    );
+    println!(
+        "{}",
+        execution_time_table(
+            "Fig. 8b — Execution Time vs. Interference Diameter (K)",
+            "K(slots)",
+            &by_diameter
+        )
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 9: protocol execution time versus the clock-skew bound
+//! (both axes logarithmic in the paper).
+//!
+//! Usage: `cargo run --release -p scream-bench --bin fig9_clock_skew`
+
+use scream_bench::figures::{clock_skew_table, fig9_clock_skew};
+
+fn main() {
+    let skews = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+    eprintln!("# fig9: 64-node grid at 5000 nodes/km^2, sweeping the clock-skew bound");
+    let rows = fig9_clock_skew(&skews, 64, 99);
+    println!("{}", clock_skew_table(&rows));
+}

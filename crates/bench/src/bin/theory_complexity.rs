@@ -1,0 +1,43 @@
+//! Checks Theorem 5's complexity bound and Theorem 4's FDD/GreedyPhysical
+//! equivalence on concrete instances.
+//!
+//! Usage: `cargo run --release -p scream-bench --bin theory_complexity`
+
+use scream_analysis::{ComplexityReport, EquivalenceReport};
+use scream_bench::Table;
+
+fn main() {
+    let report = ComplexityReport::on_grids(&[4, 6, 8], 150.0, true, 11);
+    let mut table = Table::new(
+        "Theorem 5 — measured synchronized steps vs. TD * ID * n * log n",
+        &["protocol", "n", "TD", "ID", "steps", "bound", "utilization"],
+    );
+    for obs in &report.observations {
+        table.push_row(vec![
+            obs.protocol.clone(),
+            obs.node_count.to_string(),
+            obs.total_demand.to_string(),
+            obs.interference_diameter.to_string(),
+            obs.measured_steps.to_string(),
+            format!("{:.0}", obs.theorem_bound),
+            format!("{:.4}", obs.utilization_of_bound()),
+        ]);
+    }
+    println!("{table}");
+
+    let grid = EquivalenceReport::on_grid_instances(6, 150.0, 5, 101);
+    let uniform = EquivalenceReport::on_uniform_instances(36, 900.0, 5, 202);
+    let mut eq_table = Table::new(
+        "Theorem 4 — FDD schedule equals centralized GreedyPhysical",
+        &["scenario", "instances", "identical", "rate"],
+    );
+    for (name, rep) in [("grid", &grid), ("uniform", &uniform)] {
+        eq_table.push_row(vec![
+            name.to_string(),
+            rep.outcomes.len().to_string(),
+            rep.outcomes.iter().filter(|o| o.identical).count().to_string(),
+            format!("{:.2}", rep.equivalence_rate()),
+        ]);
+    }
+    println!("{eq_table}");
+}

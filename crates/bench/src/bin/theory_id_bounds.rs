@@ -1,0 +1,38 @@
+//! Checks the interference-diameter characterization of Section IV-B
+//! (Theorems 2 and 3, plus the infinite-density discussion) on concrete
+//! instances and prints measured ID(G) against the analytical bounds.
+//!
+//! Usage: `cargo run --release -p scream-bench --bin theory_id_bounds`
+
+use scream_analysis::DiameterObservation;
+use scream_bench::Table;
+
+fn main() {
+    let mut table = Table::new(
+        "Section IV-B — interference diameter vs. analytical bounds",
+        &["scenario", "n", "rho", "ID(G)", "bound", "sqrt(n/rho)", "within bound"],
+    );
+    let mut observations = Vec::new();
+    for side in [4usize, 8, 12, 16, 20, 24] {
+        observations.push(("grid", DiameterObservation::square_grid(side, 100.0)));
+    }
+    for (n, seed) in [(64usize, 1u64), (128, 2), (256, 3), (512, 4)] {
+        observations.push(("uniform", DiameterObservation::random_uniform(n, seed)));
+    }
+    observations.push((
+        "infinite-density",
+        DiameterObservation::infinite_density(500.0, 25.0, 200.0),
+    ));
+    for (name, obs) in observations {
+        table.push_row(vec![
+            name.to_string(),
+            obs.node_count.to_string(),
+            format!("{:.1}", obs.neighbor_density),
+            obs.interference_diameter.to_string(),
+            format!("{:.1}", obs.theoretical_bound),
+            format!("{:.1}", obs.sqrt_n_over_rho),
+            obs.respects_bound().to_string(),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,27 @@
+//! Figure-reproduction harness for the SCREAM paper's evaluation section.
+//!
+//! Every figure of the paper has a corresponding function here that
+//! regenerates its data series, plus a binary (under `src/bin/`) that prints
+//! the series as a table and a Criterion bench that exercises a reduced
+//! version of the same pipeline. See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for the measured-vs-paper comparison.
+//!
+//! | Paper figure | Function | Binary |
+//! |---|---|---|
+//! | Fig. 4 (mote detection error) | [`figures::fig4_mote_detection`] | `fig4_mote_error` |
+//! | Fig. 5 (RSSI moving average)  | [`figures::fig5_rssi_trace`] | `fig5_mote_rssi` |
+//! | Fig. 6 (grid schedule length) | [`figures::fig6_grid_improvement`] | `fig6_grid` |
+//! | Fig. 7 (uniform schedule length) | [`figures::fig7_uniform_improvement`] | `fig7_uniform` |
+//! | Fig. 8 (execution time vs size/diameter) | [`figures::fig8_execution_time`] | `fig8_exec_time` |
+//! | Fig. 9 (execution time vs clock skew) | [`figures::fig9_clock_skew`] | `fig9_clock_skew` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod report;
+pub mod scenario;
+
+pub use report::Table;
+pub use scenario::{PaperScenario, ScenarioInstance, Topology};

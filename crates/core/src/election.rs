@@ -1,0 +1,215 @@
+//! Leader election on top of the SCREAM primitive (Section III-B).
+//!
+//! Every node has a unique id; the election selects the *highest* id among
+//! the candidates by iterating over the id bits from the most significant
+//! downwards. In each iteration the candidates whose current bit is 1 (and
+//! who have not been voted out) scream; the network-wide OR tells everyone
+//! whether any such candidate exists, and candidates whose bit is 0 are voted
+//! out whenever it does. After `id_bits` iterations exactly one candidate —
+//! the one with the highest id — survives.
+//!
+//! Cost: `id_bits` SCREAM invocations, i.e. `O(K · log n)` slots.
+
+use scream_netsim::ProtocolTiming;
+use scream_topology::NodeId;
+
+use crate::scream::ScreamChannel;
+
+/// The distributed leader-election procedure.
+///
+/// The struct is stateless; it exists so the procedure has a home for its
+/// documentation and can be mocked/extended (e.g. the AFDD variant reuses it
+/// over restricted candidate sets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaderElection;
+
+impl LeaderElection {
+    /// Creates the election procedure.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Number of bits used to represent ids for an `n`-node network
+    /// (`id_bits` in the paper's pseudocode).
+    pub fn id_bits(node_count: usize) -> u32 {
+        NodeId::id_bits(node_count)
+    }
+
+    /// Runs one election among the nodes flagged in `candidates`
+    /// (`candidates[i] == true` means node `i` competes; all other nodes
+    /// participate passively, relaying screams).
+    ///
+    /// Returns the winner — the highest-id candidate — or `None` if there are
+    /// no candidates. The SCREAM slots consumed are charged to `timing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates.len()` differs from the channel's node count.
+    pub fn elect(
+        &self,
+        channel: &ScreamChannel<'_>,
+        candidates: &[bool],
+        timing: &mut ProtocolTiming,
+    ) -> Option<NodeId> {
+        assert_eq!(
+            candidates.len(),
+            channel.node_count(),
+            "leader election needs one candidacy flag per node"
+        );
+        let n = candidates.len();
+        let bits = Self::id_bits(n);
+        // votedout[i] starts false for candidates; non-candidates are treated
+        // as permanently voted out (they only relay).
+        let mut votedout: Vec<bool> = candidates.iter().map(|&c| !c).collect();
+
+        for j in (0..bits).rev() {
+            let screams: Vec<bool> = (0..n)
+                .map(|i| !votedout[i] && NodeId::new(i as u32).bit(j))
+                .collect();
+            let result = channel.network_or(&screams, timing);
+            // `result` is identical at every node when K >= ID; a node only
+            // needs its own entry, which is what a real deployment would use.
+            for i in 0..n {
+                if !votedout[i] && !NodeId::new(i as u32).bit(j) && result[i] {
+                    votedout[i] = true;
+                }
+            }
+        }
+
+        let survivors: Vec<NodeId> = (0..n)
+            .filter(|&i| !votedout[i])
+            .map(|i| NodeId::new(i as u32))
+            .collect();
+        debug_assert!(
+            survivors.len() <= 1,
+            "more than one survivor after leader election: {survivors:?}"
+        );
+        survivors.into_iter().next()
+    }
+
+    /// Total number of SCREAM slots one election costs on `channel`.
+    pub fn slot_cost(&self, channel: &ScreamChannel<'_>) -> u64 {
+        Self::id_bits(channel.node_count()) as u64 * channel.scream_slots() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProtocolConfig, ScreamFidelity};
+    use scream_netsim::{PropagationModel, RadioEnvironment};
+    use scream_topology::GridDeployment;
+
+    fn grid_env(side: usize, spacing: f64) -> RadioEnvironment {
+        let d = GridDeployment::new(side, side, spacing).build();
+        RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d)
+    }
+
+    fn channel(env: &RadioEnvironment, fidelity: ScreamFidelity) -> ScreamChannel<'_> {
+        let id = env.interference_diameter();
+        ScreamChannel::new(
+            env,
+            &ProtocolConfig::paper_default()
+                .with_scream_slots(id.max(1))
+                .with_fidelity(fidelity),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn elects_the_highest_id_candidate() {
+        let env = grid_env(4, 150.0);
+        let ch = channel(&env, ScreamFidelity::Ideal);
+        let mut t = ProtocolTiming::new();
+        let mut candidates = vec![false; 16];
+        for i in [3usize, 7, 11] {
+            candidates[i] = true;
+        }
+        assert_eq!(
+            LeaderElection::new().elect(&ch, &candidates, &mut t),
+            Some(NodeId::new(11))
+        );
+    }
+
+    #[test]
+    fn single_candidate_wins_and_no_candidate_returns_none() {
+        let env = grid_env(3, 150.0);
+        let ch = channel(&env, ScreamFidelity::Ideal);
+        let mut t = ProtocolTiming::new();
+        let mut candidates = vec![false; 9];
+        candidates[4] = true;
+        assert_eq!(
+            LeaderElection::new().elect(&ch, &candidates, &mut t),
+            Some(NodeId::new(4))
+        );
+        assert_eq!(
+            LeaderElection::new().elect(&ch, &vec![false; 9], &mut t),
+            None
+        );
+    }
+
+    #[test]
+    fn all_candidates_yields_the_maximum_id() {
+        let env = grid_env(4, 150.0);
+        let ch = channel(&env, ScreamFidelity::Ideal);
+        let mut t = ProtocolTiming::new();
+        assert_eq!(
+            LeaderElection::new().elect(&ch, &vec![true; 16], &mut t),
+            Some(NodeId::new(15))
+        );
+    }
+
+    #[test]
+    fn physical_and_ideal_fidelity_elect_the_same_leader() {
+        let env = grid_env(4, 150.0);
+        let ideal = channel(&env, ScreamFidelity::Ideal);
+        let physical = channel(&env, ScreamFidelity::Physical);
+        let mut t = ProtocolTiming::new();
+        for seedish in 0..8u32 {
+            let candidates: Vec<bool> = (0..16).map(|i| (i * 7 + seedish) % 3 == 0).collect();
+            assert_eq!(
+                LeaderElection::new().elect(&ideal, &candidates, &mut t),
+                LeaderElection::new().elect(&physical, &candidates, &mut t),
+                "divergence for candidate pattern {seedish}"
+            );
+        }
+    }
+
+    #[test]
+    fn election_cost_is_id_bits_times_k() {
+        let env = grid_env(4, 150.0);
+        let ch = channel(&env, ScreamFidelity::Ideal);
+        let mut t = ProtocolTiming::new();
+        let expected = LeaderElection::new().slot_cost(&ch);
+        LeaderElection::new().elect(&ch, &vec![true; 16], &mut t);
+        assert_eq!(t.scream_slots, expected);
+        // 16 nodes -> 4 id bits.
+        assert_eq!(expected, 4 * ch.scream_slots() as u64);
+    }
+
+    #[test]
+    fn repeated_elections_with_shrinking_candidate_sets_enumerate_ids_in_decreasing_order() {
+        // This is exactly how FDD walks through the nodes.
+        let env = grid_env(3, 150.0);
+        let ch = channel(&env, ScreamFidelity::Ideal);
+        let mut t = ProtocolTiming::new();
+        let mut candidates = vec![true; 9];
+        let mut order = Vec::new();
+        while let Some(winner) = LeaderElection::new().elect(&ch, &candidates, &mut t) {
+            order.push(winner.0);
+            candidates[winner.index()] = false;
+        }
+        assert_eq!(order, (0..9u32).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "candidacy flag per node")]
+    fn wrong_candidate_vector_length_panics() {
+        let env = grid_env(3, 150.0);
+        let ch = channel(&env, ScreamFidelity::Ideal);
+        let mut t = ProtocolTiming::new();
+        let _ = LeaderElection::new().elect(&ch, &[true; 4], &mut t);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for the distributed protocols.
+
+/// Errors produced while configuring or running PDD/FDD.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The configured number of SCREAM slots `K` is smaller than the
+    /// network's interference diameter, so the SCREAM primitive cannot
+    /// implement a network-wide OR and the protocols would compute wrong
+    /// results.
+    ScreamSlotsTooSmall {
+        /// The configured `K`.
+        configured: usize,
+        /// The interference diameter `ID(G_S)` of the sensitivity graph.
+        interference_diameter: usize,
+    },
+    /// The sensitivity graph is not strongly connected (infinite interference
+    /// diameter), so no finite `K` makes SCREAM correct.
+    DisconnectedSensitivityGraph,
+    /// The number of nodes in the demand instance does not match the radio
+    /// environment.
+    NodeCountMismatch {
+        /// Nodes in the radio environment.
+        environment: usize,
+        /// Nodes covered by the demand instance.
+        demands: usize,
+    },
+    /// A protocol parameter is outside its valid range.
+    InvalidParameter(String),
+    /// The protocol exceeded its safety bound on rounds without satisfying
+    /// all demands (this indicates an infeasible instance, e.g. a demanded
+    /// link that cannot meet the SINR threshold even alone).
+    RoundLimitExceeded {
+        /// The round bound that was hit.
+        limit: u64,
+        /// Demands still unsatisfied when the limit was reached.
+        unsatisfied_links: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::ScreamSlotsTooSmall {
+                configured,
+                interference_diameter,
+            } => write!(
+                f,
+                "K = {configured} SCREAM slots is below the interference diameter {interference_diameter}; the network-wide OR would be incorrect"
+            ),
+            ProtocolError::DisconnectedSensitivityGraph => write!(
+                f,
+                "the sensitivity graph is not strongly connected: the interference diameter is infinite"
+            ),
+            ProtocolError::NodeCountMismatch {
+                environment,
+                demands,
+            } => write!(
+                f,
+                "radio environment has {environment} nodes but the demand instance covers {demands}"
+            ),
+            ProtocolError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ProtocolError::RoundLimitExceeded {
+                limit,
+                unsatisfied_links,
+            } => write!(
+                f,
+                "round limit {limit} exceeded with {unsatisfied_links} link(s) still unsatisfied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_the_relevant_numbers() {
+        let e = ProtocolError::ScreamSlotsTooSmall {
+            configured: 3,
+            interference_diameter: 7,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('7'));
+
+        let e = ProtocolError::NodeCountMismatch {
+            environment: 64,
+            demands: 32,
+        };
+        assert!(e.to_string().contains("64") && e.to_string().contains("32"));
+
+        let e = ProtocolError::RoundLimitExceeded {
+            limit: 1000,
+            unsatisfied_links: 2,
+        };
+        assert!(e.to_string().contains("1000") && e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&ProtocolError::DisconnectedSensitivityGraph);
+    }
+}

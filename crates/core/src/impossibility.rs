@@ -1,0 +1,239 @@
+//! The impossibility of *localized* distributed scheduling under physical
+//! interference (Theorem 1), made constructive.
+//!
+//! The theorem's proof sketch builds a line network in which a link `l` and a
+//! far-away link `l'` are individually compatible with the links already
+//! scheduled in a slot, but aggregate interference makes the slot infeasible
+//! when both are added. A localized algorithm (one whose per-link decisions
+//! only consult a constant-hop neighborhood) cannot distinguish the two
+//! situations and can therefore produce an infeasible schedule.
+//!
+//! [`CounterExample`] constructs such an instance explicitly so tests and
+//! examples can exhibit the failure, and [`LocalizedGreedy`] is the strawman
+//! localized scheduler the construction defeats.
+
+use serde::{Deserialize, Serialize};
+
+use scream_netsim::{PropagationModel, RadioConfig, RadioEnvironment};
+use scream_topology::{Deployment, Graph, Link, NodeId, Point2, Rect};
+
+/// A concrete network and link pair realizing the construction in the proof
+/// of Theorem 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterExample {
+    /// The deployment (a long line of nodes).
+    pub deployment: Deployment,
+    /// The link `l` whose scheduling decision is under scrutiny.
+    pub link_l: Link,
+    /// The distant link `l'` outside any constant-hop neighborhood of `l`.
+    pub link_l_prime: Link,
+    /// The locality radius `k` (in hops) that the construction defeats.
+    pub locality_hops: usize,
+    /// SINR threshold used by the construction.
+    pub sinr_threshold_db: f64,
+}
+
+impl CounterExample {
+    /// Builds a counterexample defeating locality radius `k` (hops).
+    ///
+    /// The construction places `4k + 8` nodes on a line. The two candidate
+    /// links sit at opposite ends — more than `k` hops apart — and the SINR
+    /// threshold is tuned so that each link is feasible on its own (and
+    /// together with nothing else) but the pair is infeasible when scheduled
+    /// concurrently: each link's ACK receiver sits close enough to the other
+    /// link's data transmitter that the *combined* interference and noise
+    /// push the SINR just below the threshold, while either source alone
+    /// stays above it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn for_locality(k: usize) -> Self {
+        assert!(k > 0, "locality radius must be at least one hop");
+        // A line of nodes spaced so that consecutive nodes are well within
+        // range (the communication graph is the line) but the two candidate
+        // links are Θ(n) hops apart for any fixed k.
+        let spacing = 150.0;
+        let count = 4 * k + 8;
+        let positions: Vec<Point2> = (0..count)
+            .map(|i| Point2::new(i as f64 * spacing, 0.0))
+            .collect();
+        let region = Rect::new(
+            Point2::ORIGIN,
+            Point2::new((count - 1) as f64 * spacing, 1.0),
+        );
+        let deployment = Deployment::from_positions(&positions, 20.0, region)
+            .expect("line construction is non-empty and contiguous");
+
+        let last = (count - 1) as u32;
+        Self {
+            deployment,
+            // Link l at the left end: node 1 transmits to node 0.
+            link_l: Link::new(NodeId::new(1), NodeId::new(0)),
+            // Link l' at the right end: node count-2 transmits to node count-1.
+            link_l_prime: Link::new(NodeId::new(last - 1), NodeId::new(last)),
+            locality_hops: k,
+            sinr_threshold_db: Self::tuned_threshold(&positions, spacing),
+        }
+    }
+
+    /// Chooses a SINR threshold strictly between the SINR each candidate link
+    /// sees when scheduled alone and the SINR it sees when both are
+    /// scheduled, so the construction is guaranteed to separate the two
+    /// cases.
+    fn tuned_threshold(positions: &[Point2], spacing: f64) -> f64 {
+        let propagation = PropagationModel::log_distance(3.0);
+        let noise_dbm = -100.0;
+        let tx_dbm = 20.0;
+        // Worst affected reception: the ACK of link l is transmitted by node 0
+        // and received by node 1, while node count-2 (the data transmitter of
+        // l') interferes from (count - 3) * spacing away.
+        let n = positions.len();
+        let signal_dbm = tx_dbm - propagation.path_loss_db(spacing);
+        let interferer_distance = positions[1].distance(positions[n - 2]);
+        let interference_dbm = tx_dbm - propagation.path_loss_db(interferer_distance);
+        let noise_mw = 10f64.powf(noise_dbm / 10.0);
+        let interference_mw = 10f64.powf(interference_dbm / 10.0);
+        let signal_mw = 10f64.powf(signal_dbm / 10.0);
+        let sinr_alone_db = 10.0 * (signal_mw / noise_mw).log10();
+        let sinr_both_db = 10.0 * (signal_mw / (noise_mw + interference_mw)).log10();
+        // Midpoint between the two regimes (in dB).
+        (sinr_alone_db + sinr_both_db) / 2.0
+    }
+
+    /// The radio environment realizing the construction.
+    pub fn environment(&self) -> RadioEnvironment {
+        RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(
+                RadioConfig::mesh_default()
+                    .with_sinr_threshold_db(self.sinr_threshold_db)
+                    .with_noise_floor_dbm(-100.0),
+            )
+            .build(&self.deployment)
+    }
+
+    /// Hop distance between the two candidate links in the communication
+    /// graph (always greater than the locality radius).
+    pub fn link_separation_hops(&self, graph: &Graph) -> usize {
+        graph
+            .link_hop_distance(
+                (self.link_l.head, self.link_l.tail),
+                (self.link_l_prime.head, self.link_l_prime.tail),
+            )
+            .unwrap_or(usize::MAX)
+    }
+}
+
+/// A strawman *localized* scheduler: it adds a link to a slot whenever the
+/// links already present within `k` hops of it leave it feasible, ignoring
+/// everything farther away — precisely the class of algorithms Theorem 1
+/// rules out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalizedGreedy {
+    /// The locality radius in hops.
+    pub locality_hops: usize,
+}
+
+impl LocalizedGreedy {
+    /// Creates a localized scheduler with radius `k` hops.
+    pub fn new(locality_hops: usize) -> Self {
+        Self { locality_hops }
+    }
+
+    /// Decides — looking only at links within `k` hops of `candidate` —
+    /// whether `candidate` may join the slot `existing`.
+    pub fn admits(
+        &self,
+        env: &RadioEnvironment,
+        graph: &Graph,
+        existing: &[Link],
+        candidate: Link,
+    ) -> bool {
+        let visible: Vec<Link> = existing
+            .iter()
+            .copied()
+            .filter(|l| {
+                graph
+                    .link_hop_distance((l.head, l.tail), (candidate.head, candidate.tail))
+                    .is_some_and(|d| d <= self.locality_hops)
+            })
+            .collect();
+        env.can_add_to_slot(&visible, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_links_are_individually_feasible_but_jointly_infeasible() {
+        for k in [1usize, 2, 3] {
+            let ce = CounterExample::for_locality(k);
+            let env = ce.environment();
+            assert!(env.slot_feasible(&[ce.link_l]), "l alone must be feasible (k={k})");
+            assert!(
+                env.slot_feasible(&[ce.link_l_prime]),
+                "l' alone must be feasible (k={k})"
+            );
+            assert!(
+                !env.slot_feasible(&[ce.link_l, ce.link_l_prime]),
+                "l and l' together must be infeasible (k={k})"
+            );
+        }
+    }
+
+    #[test]
+    fn the_links_are_outside_each_others_locality() {
+        let k = 2;
+        let ce = CounterExample::for_locality(k);
+        let env = ce.environment();
+        let graph = env.communication_graph();
+        assert!(graph.is_connected());
+        assert!(ce.link_separation_hops(&graph) > k);
+    }
+
+    #[test]
+    fn a_localized_greedy_scheduler_builds_an_infeasible_slot() {
+        // Both endpoints run the same localized rule; each admits its link
+        // because the other is invisible, and the resulting slot violates the
+        // physical model — the constructive content of Theorem 1.
+        let k = 2;
+        let ce = CounterExample::for_locality(k);
+        let env = ce.environment();
+        let graph = env.communication_graph();
+        let alg = LocalizedGreedy::new(k);
+
+        let mut slot: Vec<Link> = Vec::new();
+        assert!(alg.admits(&env, &graph, &slot, ce.link_l));
+        slot.push(ce.link_l);
+        assert!(
+            alg.admits(&env, &graph, &slot, ce.link_l_prime),
+            "the localized rule cannot see link l and admits l'"
+        );
+        slot.push(ce.link_l_prime);
+        assert!(!env.slot_feasible(&slot), "the produced slot is infeasible");
+    }
+
+    #[test]
+    fn a_global_rule_rejects_the_second_link() {
+        let ce = CounterExample::for_locality(2);
+        let env = ce.environment();
+        assert!(!env.can_add_to_slot(&[ce.link_l], ce.link_l_prime));
+    }
+
+    #[test]
+    fn construction_scales_with_the_locality_radius() {
+        let small = CounterExample::for_locality(1);
+        let large = CounterExample::for_locality(5);
+        assert!(large.deployment.len() > small.deployment.len());
+        assert_eq!(large.locality_hops, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn zero_locality_is_rejected() {
+        let _ = CounterExample::for_locality(0);
+    }
+}

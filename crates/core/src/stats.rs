@@ -1,0 +1,131 @@
+//! Execution statistics of a distributed scheduling run.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing how a PDD/FDD/AFDD run unfolded.
+///
+/// These are the quantities behind the complexity analysis of Theorem 5 and
+/// the execution-time figures (Figures 8 and 9): the wall-clock cost of a run
+/// is fully determined by the number of SCREAM slots, handshake steps and
+/// synchronization barriers it executed, which in turn are determined by the
+/// counters recorded here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Number of rounds executed (one slot is sealed per round).
+    pub rounds: u64,
+    /// Number of slot-construction iterations across all rounds (each
+    /// iteration is one `SelectActive` + handshake + verification cycle).
+    pub slot_iterations: u64,
+    /// Number of full leader elections run (one per control hand-over, plus
+    /// one per iteration for FDD).
+    pub elections: u64,
+    /// Number of SCREAM-primitive invocations of any kind.
+    pub scream_invocations: u64,
+    /// Number of two-way handshake time steps executed.
+    pub handshake_steps: u64,
+    /// Number of iterations in which a previously scheduled edge vetoed the
+    /// tentative active set.
+    pub vetoes: u64,
+    /// Number of ACTIVE → TRIED transitions (active edges discarded from the
+    /// slot under construction).
+    pub tried_transitions: u64,
+    /// Whether the run terminated normally with every demand satisfied.
+    pub terminated: bool,
+}
+
+impl RunStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average number of iterations needed to seal a slot.
+    pub fn iterations_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.slot_iterations as f64 / self.rounds as f64
+        }
+    }
+
+    /// Fraction of active attempts that were discarded (TRIED) rather than
+    /// allocated. A rough measure of how much work the randomized selection
+    /// of PDD wastes compared to FDD.
+    pub fn tried_fraction(&self) -> f64 {
+        let attempts = self.tried_transitions + self.allocations_lower_bound();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.tried_transitions as f64 / attempts as f64
+        }
+    }
+
+    /// Lower bound on the number of successful allocations: every round
+    /// allocates at least the controller's edge.
+    fn allocations_lower_bound(&self) -> u64 {
+        self.rounds
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} iterations, {} elections, {} screams, {} handshakes, {} vetoes, {} tried, terminated={}",
+            self.rounds,
+            self.slot_iterations,
+            self.elections,
+            self.scream_invocations,
+            self.handshake_steps,
+            self.vetoes,
+            self.tried_transitions,
+            self.terminated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios_handle_zero_denominators() {
+        let s = RunStats::new();
+        assert_eq!(s.iterations_per_round(), 0.0);
+        assert_eq!(s.tried_fraction(), 0.0);
+    }
+
+    #[test]
+    fn iterations_per_round_is_a_simple_ratio() {
+        let s = RunStats {
+            rounds: 4,
+            slot_iterations: 10,
+            ..RunStats::default()
+        };
+        assert!((s.iterations_per_round() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tried_fraction_reflects_wasted_attempts() {
+        let s = RunStats {
+            rounds: 10,
+            tried_transitions: 30,
+            ..RunStats::default()
+        };
+        assert!((s.tried_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_the_headline_counters() {
+        let s = RunStats {
+            rounds: 3,
+            elections: 5,
+            terminated: true,
+            ..RunStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("3 rounds"));
+        assert!(text.contains("5 elections"));
+        assert!(text.contains("terminated=true"));
+    }
+}

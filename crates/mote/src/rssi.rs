@@ -1,0 +1,188 @@
+//! RSSI sampling, moving-average detection and trace recording.
+
+use serde::{Deserialize, Serialize};
+
+use scream_netsim::SimTime;
+
+/// One RSSI reading at the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RssiSample {
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// The raw RSSI value, in dBm.
+    pub rssi_dbm: f64,
+    /// The moving-average value after consuming this sample, in dBm, if the
+    /// sample was one of the strided samples fed into the average.
+    pub moving_average_dbm: Option<f64>,
+}
+
+/// A sliding-window moving average over dBm readings, mimicking the filter
+/// the paper's Monitor mote applies to its RSSI stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MovingAverage {
+    window: usize,
+    values: Vec<f64>,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over the last `window` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "moving-average window must be non-empty");
+        Self {
+            window,
+            values: Vec::new(),
+        }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Pushes a new value and returns the current average.
+    pub fn push(&mut self, value_dbm: f64) -> f64 {
+        self.values.push(value_dbm);
+        if self.values.len() > self.window {
+            self.values.remove(0);
+        }
+        self.current()
+    }
+
+    /// The current average, or negative infinity if no value has been pushed.
+    pub fn current(&self) -> f64 {
+        if self.values.is_empty() {
+            f64::NEG_INFINITY
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Whether the window has been fully populated.
+    pub fn is_warm(&self) -> bool {
+        self.values.len() == self.window
+    }
+
+    /// Clears the window.
+    pub fn reset(&mut self) {
+        self.values.clear();
+    }
+}
+
+/// A recorded trace of RSSI and moving-average values, used to regenerate the
+/// paper's Figure 5.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RssiTrace {
+    samples: Vec<RssiSample>,
+}
+
+impl RssiTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: RssiSample) {
+        self.samples.push(sample);
+    }
+
+    /// All recorded samples in time order.
+    pub fn samples(&self) -> &[RssiSample] {
+        &self.samples
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The subset of samples that carry a moving-average value (the strided
+    /// samples actually consumed by the monitor).
+    pub fn moving_average_series(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.samples
+            .iter()
+            .filter_map(|s| s.moving_average_dbm.map(|ma| (s.time, ma)))
+    }
+
+    /// Restricts the trace to samples within `[from, to)` — convenient for
+    /// plotting a short snapshot as the paper does.
+    pub fn window(&self, from: SimTime, to: SimTime) -> RssiTrace {
+        RssiTrace {
+            samples: self
+                .samples
+                .iter()
+                .copied()
+                .filter(|s| s.time >= from && s.time < to)
+                .collect(),
+        }
+    }
+
+    /// Maximum moving-average value seen in the trace, in dBm.
+    pub fn peak_moving_average_dbm(&self) -> f64 {
+        self.moving_average_series()
+            .map(|(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_tracks_the_window() {
+        let mut ma = MovingAverage::new(3);
+        assert_eq!(ma.current(), f64::NEG_INFINITY);
+        assert!(!ma.is_warm());
+        assert_eq!(ma.push(-90.0), -90.0);
+        assert_eq!(ma.push(-60.0), -75.0);
+        assert_eq!(ma.push(-60.0), -70.0);
+        assert!(ma.is_warm());
+        // Window slides: the -90 falls out.
+        assert_eq!(ma.push(-60.0), -60.0);
+        ma.reset();
+        assert!(!ma.is_warm());
+        assert_eq!(ma.current(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_window_is_rejected() {
+        let _ = MovingAverage::new(0);
+    }
+
+    #[test]
+    fn trace_windowing_and_series_extraction() {
+        let mut trace = RssiTrace::new();
+        for i in 0..10u64 {
+            trace.push(RssiSample {
+                time: SimTime::from_millis(i),
+                rssi_dbm: -90.0 + i as f64,
+                moving_average_dbm: (i % 2 == 0).then_some(-80.0 + i as f64),
+            });
+        }
+        assert_eq!(trace.len(), 10);
+        assert!(!trace.is_empty());
+        let windowed = trace.window(SimTime::from_millis(2), SimTime::from_millis(5));
+        assert_eq!(windowed.len(), 3);
+        let ma_points: Vec<_> = trace.moving_average_series().collect();
+        assert_eq!(ma_points.len(), 5);
+        assert!((trace.peak_moving_average_dbm() - (-72.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_no_peak() {
+        let trace = RssiTrace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.peak_moving_average_dbm(), f64::NEG_INFINITY);
+    }
+}

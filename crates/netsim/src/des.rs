@@ -1,0 +1,226 @@
+//! A small deterministic discrete-event engine.
+//!
+//! The mote experiment of Section V is a continuous-time system (periodic
+//! SCREAM initiations, byte-serial transmissions, RSSI sampling); it is
+//! simulated here with a classic event-queue loop. The engine is generic in
+//! the event payload so other packet-level studies can reuse it.
+//!
+//! Determinism: events scheduled for the same instant are delivered in the
+//! order they were scheduled (FIFO per timestamp), so a run is fully
+//! reproducible from its inputs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::units::SimTime;
+
+/// An event scheduled for execution at a given simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotone sequence number used to break ties deterministically.
+    pub sequence: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.sequence)
+    }
+}
+
+impl<E: Eq> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl<E: Eq> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with a simulation clock.
+///
+/// ```
+/// use scream_netsim::{EventQueue, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(SimTime::from_millis(2), "second");
+/// q.schedule(SimTime::from_millis(1), "first");
+/// assert_eq!(q.pop().unwrap().event, "first");
+/// assert_eq!(q.now(), SimTime::from_millis(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<ScheduledEvent<E>>>,
+    now: SimTime,
+    next_sequence: u64,
+    delivered: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_sequence: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last delivered event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time is in the past (before the last delivered event),
+    /// which would violate causality.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule an event at {time} when the clock is already at {}",
+            self.now
+        );
+        let seq = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Reverse(ScheduledEvent {
+            time,
+            sequence: seq,
+            event,
+        }));
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Removes and returns the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let Reverse(event) = self.heap.pop()?;
+        self.now = event.time;
+        self.delivered += 1;
+        Some(event)
+    }
+
+    /// Drains and delivers events to `handler` until the queue is empty or
+    /// the clock passes `until`. The handler can schedule further events
+    /// through the mutable reference it receives.
+    pub fn run_until<F>(&mut self, until: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Self, ScheduledEvent<E>),
+    {
+        let mut count = 0;
+        while let Some(t) = self.peek_time() {
+            if t > until {
+                break;
+            }
+            let ev = self.pop().expect("peeked event must exist");
+            handler(self, ev);
+            count += 1;
+        }
+        count
+    }
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), 5u32);
+        q.schedule(SimTime::from_millis(1), 1u32);
+        q.schedule(SimTime::from_millis(3), 3u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+        assert_eq!(q.now(), SimTime::from_millis(5));
+        assert_eq!(q.delivered(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.schedule(SimTime::from_millis(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "a");
+        q.pop();
+        q.schedule_after(SimTime::from_millis(5), "b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn run_until_respects_the_horizon_and_allows_rescheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 0u32);
+        // Each event re-schedules itself 1 ms later; running until 10 ms must
+        // deliver exactly 10 events.
+        let delivered = q.run_until(SimTime::from_millis(10), |q, ev| {
+            q.schedule_after(SimTime::from_millis(1), ev.event + 1);
+        });
+        assert_eq!(delivered, 10);
+        assert_eq!(q.now(), SimTime::from_millis(10));
+        assert_eq!(q.len(), 1, "one future event remains beyond the horizon");
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+    }
+}

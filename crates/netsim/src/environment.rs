@@ -1,0 +1,616 @@
+//! The radio environment: per-pair channel gains, SINR queries, carrier
+//! sensing and the derived communication / sensitivity graphs.
+//!
+//! [`RadioEnvironment`] is the single source of physical-layer truth shared
+//! by the centralized scheduler, the distributed protocols and the analysis
+//! code. It implements the physical interference model of Section II with
+//! the data/ACK sub-slot variation: a packet on link `(u, v)` scheduled
+//! concurrently with links `(x_i, y_i)` is received correctly iff
+//!
+//! ```text
+//!  P_v(u) / (N + Σ_i P_v(x_i))  ≥ β        (data sub-slot)
+//!  P_u(v) / (N + Σ_i P_u(y_i))  ≥ β        (ACK sub-slot)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use scream_topology::{Deployment, Graph, GraphKind, Link, NodeId};
+
+use crate::error::NetsimError;
+use crate::propagation::{PropagationModel, ShadowingField};
+use crate::radio::{dbm_to_mw, mw_to_dbm, RadioConfig};
+
+/// Immutable physical-layer state of a deployed mesh: channel gains between
+/// every node pair, per-node transmit powers and the radio configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioEnvironment {
+    node_count: usize,
+    /// Linear channel gain `g[i][j]` from transmitter `i` to receiver `j`
+    /// (row-major `i * n + j`). Symmetric because path loss and shadowing are
+    /// symmetric, but stored densely for O(1) lookup.
+    gains: Vec<f64>,
+    /// Per-node transmit power in milliwatts.
+    tx_power_mw: Vec<f64>,
+    config: RadioConfig,
+    propagation: PropagationModel,
+    shadowing_sigma_db: f64,
+}
+
+impl RadioEnvironment {
+    /// Starts building an environment.
+    pub fn builder() -> RadioEnvironmentBuilder {
+        RadioEnvironmentBuilder::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The radio configuration in force.
+    pub fn config(&self) -> &RadioConfig {
+        &self.config
+    }
+
+    /// The deterministic propagation model in force.
+    pub fn propagation(&self) -> &PropagationModel {
+        &self.propagation
+    }
+
+    /// The shadowing standard deviation the gains were generated with, in dB.
+    pub fn shadowing_sigma_db(&self) -> f64 {
+        self.shadowing_sigma_db
+    }
+
+    /// Transmit power of `node` in milliwatts.
+    pub fn tx_power_mw(&self, node: NodeId) -> f64 {
+        self.tx_power_mw[node.index()]
+    }
+
+    /// Linear channel gain from `tx` to `rx` (1.0 on the diagonal).
+    pub fn gain(&self, tx: NodeId, rx: NodeId) -> f64 {
+        self.gains[tx.index() * self.node_count + rx.index()]
+    }
+
+    /// Received power at `rx` of a transmission from `tx`, in milliwatts
+    /// (`P_rx(tx)` in the paper's notation).
+    pub fn received_power_mw(&self, tx: NodeId, rx: NodeId) -> f64 {
+        self.tx_power_mw[tx.index()] * self.gain(tx, rx)
+    }
+
+    /// Received power at `rx` from `tx`, in dBm.
+    pub fn received_power_dbm(&self, tx: NodeId, rx: NodeId) -> f64 {
+        mw_to_dbm(self.received_power_mw(tx, rx))
+    }
+
+    /// SINR (linear) at `rx` for a transmission from `tx`, with the given
+    /// concurrent interfering transmitters. Interferers equal to `tx` or `rx`
+    /// are ignored (a node does not interfere with its own reception).
+    pub fn sinr_linear(&self, tx: NodeId, rx: NodeId, interferers: &[NodeId]) -> f64 {
+        let signal = self.received_power_mw(tx, rx);
+        let mut interference = 0.0;
+        for &i in interferers {
+            if i == tx || i == rx {
+                continue;
+            }
+            interference += self.received_power_mw(i, rx);
+        }
+        signal / (self.config.noise_floor_mw() + interference)
+    }
+
+    /// SINR in dB; see [`sinr_linear`](Self::sinr_linear).
+    pub fn sinr_db(&self, tx: NodeId, rx: NodeId, interferers: &[NodeId]) -> f64 {
+        10.0 * self.sinr_linear(tx, rx, interferers).log10()
+    }
+
+    /// Whether a transmission from `tx` is decodable at `rx` against the
+    /// given interferer set.
+    pub fn decodable(&self, tx: NodeId, rx: NodeId, interferers: &[NodeId]) -> bool {
+        self.sinr_linear(tx, rx, interferers) >= self.config.sinr_threshold_linear()
+    }
+
+    /// Carrier sensing: whether `listener` detects channel activity when the
+    /// given set of nodes transmit simultaneously. Energy detection sums the
+    /// received powers, so concurrent transmissions (collisions) only make
+    /// detection easier — the property the SCREAM primitive relies on.
+    pub fn carrier_sense(&self, listener: NodeId, transmitters: &[NodeId]) -> bool {
+        let mut total = 0.0;
+        for &t in transmitters {
+            if t == listener {
+                continue;
+            }
+            total += self.received_power_mw(t, listener);
+        }
+        total >= self.config.carrier_sense_threshold_mw()
+    }
+
+    /// Checks the *data sub-slot* condition for `link` against the data
+    /// transmitters of the concurrent links.
+    pub fn data_subslot_ok(&self, link: Link, concurrent: &[Link]) -> bool {
+        let interferers: Vec<NodeId> = concurrent
+            .iter()
+            .filter(|l| **l != link)
+            .map(|l| l.head)
+            .collect();
+        self.decodable(link.head, link.tail, &interferers)
+    }
+
+    /// Checks the *ACK sub-slot* condition for `link` against the ACK
+    /// transmitters (the tails) of the concurrent links.
+    pub fn ack_subslot_ok(&self, link: Link, concurrent: &[Link]) -> bool {
+        let interferers: Vec<NodeId> = concurrent
+            .iter()
+            .filter(|l| **l != link)
+            .map(|l| l.tail)
+            .collect();
+        self.decodable(link.tail, link.head, &interferers)
+    }
+
+    /// Whether the two-way handshake on `link` succeeds when scheduled
+    /// concurrently with `concurrent` (which may or may not contain `link`
+    /// itself): both the data packet and the ACK must meet the SINR
+    /// threshold.
+    pub fn handshake_ok(&self, link: Link, concurrent: &[Link]) -> bool {
+        self.data_subslot_ok(link, concurrent) && self.ack_subslot_ok(link, concurrent)
+    }
+
+    /// Whether the whole set of links can be scheduled in the same slot: no
+    /// two links may share an endpoint (half-duplex radios), and every link's
+    /// two-way handshake must succeed against all the others.
+    ///
+    /// This is the paper's definition of a *feasible* transmission set.
+    pub fn slot_feasible(&self, links: &[Link]) -> bool {
+        for (i, a) in links.iter().enumerate() {
+            if a.head == a.tail {
+                return false;
+            }
+            for b in &links[i + 1..] {
+                if a.shares_endpoint(b) {
+                    return false;
+                }
+            }
+        }
+        links.iter().all(|&l| self.handshake_ok(l, links))
+    }
+
+    /// Whether `candidate` can be added to an already-feasible slot without
+    /// making it infeasible. Equivalent to `slot_feasible(existing + candidate)`
+    /// but spelled out for readability at call sites.
+    pub fn can_add_to_slot(&self, existing: &[Link], candidate: Link) -> bool {
+        if candidate.head == candidate.tail {
+            return false;
+        }
+        if existing.iter().any(|l| l.shares_endpoint(&candidate)) {
+            return false;
+        }
+        let mut all: Vec<Link> = existing.to_vec();
+        all.push(candidate);
+        all.iter().all(|&l| self.handshake_ok(l, &all))
+    }
+
+    /// Whether a (bidirectional) link between `u` and `v` exists *in the
+    /// absence of interference* — the definition of an edge of the
+    /// communication graph `G` in Section II.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::SelfLink`] if `u == v` and
+    /// [`NetsimError::UnknownNode`] for out-of-range ids.
+    pub fn link_exists(&self, u: NodeId, v: NodeId) -> Result<bool, NetsimError> {
+        for id in [u, v] {
+            if id.index() >= self.node_count {
+                return Err(NetsimError::UnknownNode {
+                    id,
+                    node_count: self.node_count,
+                });
+            }
+        }
+        if u == v {
+            return Err(NetsimError::SelfLink(u));
+        }
+        Ok(self.handshake_ok(Link::new(u, v), &[]))
+    }
+
+    /// Builds the communication graph `G = (V, E)`: an undirected edge per
+    /// node pair whose two-way handshake succeeds without interference.
+    /// Unidirectional links are excluded by construction, as required by the
+    /// link-layer-reliability assumption of Section II.
+    pub fn communication_graph(&self) -> Graph {
+        let mut g = Graph::new(self.node_count, GraphKind::Undirected);
+        for i in 0..self.node_count {
+            for j in (i + 1)..self.node_count {
+                let u = NodeId::new(i as u32);
+                let v = NodeId::new(j as u32);
+                if self.handshake_ok(Link::new(u, v), &[]) {
+                    g.add_edge(u, v).expect("indices in range by construction");
+                }
+            }
+        }
+        g
+    }
+
+    /// Builds the sensitivity graph `G_S = (V, E_S)` of Definition 1: a
+    /// directed edge `(u, v)` whenever `v` detects channel activity when only
+    /// `u` transmits.
+    pub fn sensitivity_graph(&self) -> Graph {
+        let mut g = Graph::new(self.node_count, GraphKind::Directed);
+        for i in 0..self.node_count {
+            for j in 0..self.node_count {
+                if i == j {
+                    continue;
+                }
+                let u = NodeId::new(i as u32);
+                let v = NodeId::new(j as u32);
+                if self.carrier_sense(v, &[u]) {
+                    g.add_edge(u, v).expect("indices in range by construction");
+                }
+            }
+        }
+        g
+    }
+
+    /// The interference diameter `ID(G_S)` of the sensitivity graph
+    /// (Definition 2), with `usize::MAX` standing in for infinity when the
+    /// sensitivity graph is not strongly connected.
+    pub fn interference_diameter(&self) -> usize {
+        self.sensitivity_graph().interference_diameter()
+    }
+
+    /// Approximate communication range in meters for a node transmitting at
+    /// `tx_power_dbm`, ignoring shadowing: the distance at which the
+    /// interference-free SNR falls to the threshold β.
+    pub fn nominal_communication_range_m(&self, tx_power_dbm: f64) -> f64 {
+        let max_loss =
+            tx_power_dbm - self.config.noise_floor_dbm - self.config.sinr_threshold_db;
+        self.propagation.distance_for_loss_db(max_loss)
+    }
+
+    /// Approximate carrier-sense range in meters for a node transmitting at
+    /// `tx_power_dbm`, ignoring shadowing.
+    pub fn nominal_carrier_sense_range_m(&self, tx_power_dbm: f64) -> f64 {
+        let max_loss = tx_power_dbm - self.config.carrier_sense_threshold_dbm;
+        self.propagation.distance_for_loss_db(max_loss)
+    }
+}
+
+/// Builder for [`RadioEnvironment`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioEnvironmentBuilder {
+    config: RadioConfig,
+    propagation: PropagationModel,
+    shadowing_sigma_db: f64,
+    shadowing_seed: u64,
+}
+
+impl Default for RadioEnvironmentBuilder {
+    fn default() -> Self {
+        Self {
+            config: RadioConfig::mesh_default(),
+            propagation: PropagationModel::paper_default(),
+            shadowing_sigma_db: 0.0,
+            shadowing_seed: 0,
+        }
+    }
+}
+
+impl RadioEnvironmentBuilder {
+    /// Sets the radio configuration (noise floor, β, carrier-sense threshold,
+    /// rates and frame sizes).
+    pub fn config(mut self, config: RadioConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the deterministic propagation model.
+    pub fn propagation(mut self, model: PropagationModel) -> Self {
+        self.propagation = model;
+        self
+    }
+
+    /// Enables log-normal shadowing with the given standard deviation (dB)
+    /// and seed. The paper's simulations use a log-normal model; a σ of
+    /// 4–8 dB is typical for outdoor mesh deployments.
+    pub fn shadowing(mut self, sigma_db: f64, seed: u64) -> Self {
+        self.shadowing_sigma_db = sigma_db;
+        self.shadowing_seed = seed;
+        self
+    }
+
+    /// Builds the environment for the given deployment, precomputing the full
+    /// gain matrix.
+    pub fn build(self, deployment: &Deployment) -> RadioEnvironment {
+        let n = deployment.len();
+        let shadowing = ShadowingField::generate(n, self.shadowing_sigma_db, self.shadowing_seed);
+        let mut gains = vec![1.0; n * n];
+        for i in 0..n {
+            let pi = deployment.position(NodeId::new(i as u32));
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pj = deployment.position(NodeId::new(j as u32));
+                let dist = pi.distance(pj);
+                let loss_db = self.propagation.path_loss_db(dist) + shadowing.shadow_db(i, j);
+                gains[i * n + j] = dbm_to_mw(-loss_db);
+            }
+        }
+        let tx_power_mw = deployment
+            .nodes()
+            .iter()
+            .map(|node| node.tx_power_mw())
+            .collect();
+        RadioEnvironment {
+            node_count: n,
+            gains,
+            tx_power_mw,
+            config: self.config,
+            propagation: self.propagation,
+            shadowing_sigma_db: self.shadowing_sigma_db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scream_topology::{GridDeployment, Point2, Rect};
+
+    fn line_deployment(spacing: f64, count: usize) -> Deployment {
+        let positions: Vec<Point2> = (0..count)
+            .map(|i| Point2::new(i as f64 * spacing, 0.0))
+            .collect();
+        Deployment::from_positions(&positions, 20.0, Rect::square(spacing * count as f64))
+            .unwrap()
+    }
+
+    fn env(deployment: &Deployment) -> RadioEnvironment {
+        RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(deployment)
+    }
+
+    #[test]
+    fn received_power_decreases_with_distance() {
+        let d = line_deployment(100.0, 4);
+        let e = env(&d);
+        let p1 = e.received_power_mw(NodeId::new(0), NodeId::new(1));
+        let p2 = e.received_power_mw(NodeId::new(0), NodeId::new(2));
+        let p3 = e.received_power_mw(NodeId::new(0), NodeId::new(3));
+        assert!(p1 > p2 && p2 > p3);
+    }
+
+    #[test]
+    fn gain_matrix_is_symmetric_without_heterogeneous_power() {
+        let d = line_deployment(137.0, 5);
+        let e = env(&d);
+        for i in 0..5 {
+            for j in 0..5 {
+                let a = e.gain(NodeId::new(i), NodeId::new(j));
+                let b = e.gain(NodeId::new(j), NodeId::new(i));
+                assert!((a - b).abs() < 1e-18);
+            }
+        }
+    }
+
+    #[test]
+    fn sinr_without_interference_is_snr() {
+        let d = line_deployment(200.0, 2);
+        let e = env(&d);
+        let snr = e.sinr_linear(NodeId::new(0), NodeId::new(1), &[]);
+        let expected = e.received_power_mw(NodeId::new(0), NodeId::new(1))
+            / e.config().noise_floor_mw();
+        assert!((snr - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn interference_lowers_sinr() {
+        let d = line_deployment(150.0, 3);
+        let e = env(&d);
+        let clean = e.sinr_linear(NodeId::new(0), NodeId::new(1), &[]);
+        let jammed = e.sinr_linear(NodeId::new(0), NodeId::new(1), &[NodeId::new(2)]);
+        assert!(jammed < clean);
+    }
+
+    #[test]
+    fn sender_and_receiver_are_not_their_own_interferers() {
+        let d = line_deployment(150.0, 3);
+        let e = env(&d);
+        let with_self = e.sinr_linear(
+            NodeId::new(0),
+            NodeId::new(1),
+            &[NodeId::new(0), NodeId::new(1)],
+        );
+        let clean = e.sinr_linear(NodeId::new(0), NodeId::new(1), &[]);
+        assert_eq!(with_self, clean);
+    }
+
+    #[test]
+    fn decodable_matches_threshold() {
+        let d = line_deployment(100.0, 2);
+        let e = env(&d);
+        assert!(e.decodable(NodeId::new(0), NodeId::new(1), &[]));
+        // A node 100 km away is certainly not decodable.
+        let far = Deployment::from_positions(
+            &[Point2::new(0.0, 0.0), Point2::new(100_000.0, 0.0)],
+            20.0,
+            Rect::square(100_000.0),
+        )
+        .unwrap();
+        let e_far = env(&far);
+        assert!(!e_far.decodable(NodeId::new(0), NodeId::new(1), &[]));
+    }
+
+    #[test]
+    fn carrier_sense_aggregates_power_from_collisions() {
+        // Place two transmitters at a distance where one alone is just below
+        // the carrier-sense threshold but two together are above it.
+        let d = line_deployment(1.0, 3);
+        let mut e = env(&d);
+        let single = e.received_power_mw(NodeId::new(0), NodeId::new(2));
+        // Craft a threshold between 1x and 2x the single received power.
+        e.config.carrier_sense_threshold_dbm = mw_to_dbm(single * 1.5);
+        assert!(!e.carrier_sense(NodeId::new(2), &[NodeId::new(0)]));
+        assert!(e.carrier_sense(NodeId::new(2), &[NodeId::new(0), NodeId::new(1)]));
+    }
+
+    #[test]
+    fn carrier_sense_ignores_own_transmission() {
+        let d = line_deployment(100.0, 2);
+        let e = env(&d);
+        assert!(!e.carrier_sense(NodeId::new(0), &[NodeId::new(0)]));
+    }
+
+    #[test]
+    fn handshake_checks_both_directions() {
+        let d = line_deployment(150.0, 4);
+        let e = env(&d);
+        let link = Link::new(NodeId::new(0), NodeId::new(1));
+        assert!(e.handshake_ok(link, &[]));
+        // With a strong interferer right next to the receiver, the data
+        // sub-slot fails even though the ACK direction would be fine.
+        let interfering = Link::new(NodeId::new(2), NodeId::new(3));
+        let data_ok = e.data_subslot_ok(link, &[link, interfering]);
+        let ack_ok = e.ack_subslot_ok(link, &[link, interfering]);
+        assert_eq!(e.handshake_ok(link, &[link, interfering]), data_ok && ack_ok);
+    }
+
+    #[test]
+    fn slot_with_shared_endpoint_is_infeasible() {
+        let d = line_deployment(100.0, 3);
+        let e = env(&d);
+        let a = Link::new(NodeId::new(0), NodeId::new(1));
+        let b = Link::new(NodeId::new(1), NodeId::new(2));
+        assert!(!e.slot_feasible(&[a, b]));
+        assert!(e.slot_feasible(&[a]));
+    }
+
+    #[test]
+    fn self_links_are_rejected() {
+        let d = line_deployment(100.0, 2);
+        let e = env(&d);
+        assert!(!e.slot_feasible(&[Link::new(NodeId::new(0), NodeId::new(0))]));
+        assert!(matches!(
+            e.link_exists(NodeId::new(1), NodeId::new(1)),
+            Err(NetsimError::SelfLink(_))
+        ));
+        assert!(matches!(
+            e.link_exists(NodeId::new(0), NodeId::new(9)),
+            Err(NetsimError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn distant_parallel_links_can_share_a_slot_but_adjacent_ones_may_not() {
+        // 8 nodes in a line, 200 m apart. Links (0->1) and (6->7) are 1 km
+        // apart and should coexist; links (0->1) and (2->3) are adjacent and
+        // the interferer at node 2 is only 200 m from receiver 1.
+        let d = line_deployment(200.0, 8);
+        let e = env(&d);
+        let a = Link::new(NodeId::new(0), NodeId::new(1));
+        let far = Link::new(NodeId::new(6), NodeId::new(7));
+        let near = Link::new(NodeId::new(2), NodeId::new(3));
+        assert!(e.slot_feasible(&[a, far]));
+        assert!(!e.slot_feasible(&[a, near]));
+    }
+
+    #[test]
+    fn can_add_to_slot_agrees_with_slot_feasible() {
+        let d = line_deployment(200.0, 8);
+        let e = env(&d);
+        let a = Link::new(NodeId::new(0), NodeId::new(1));
+        let far = Link::new(NodeId::new(6), NodeId::new(7));
+        let near = Link::new(NodeId::new(2), NodeId::new(3));
+        assert!(e.can_add_to_slot(&[a], far));
+        assert!(!e.can_add_to_slot(&[a], near));
+        assert_eq!(e.can_add_to_slot(&[a], far), e.slot_feasible(&[a, far]));
+    }
+
+    #[test]
+    fn communication_graph_links_are_bidirectional_and_range_limited() {
+        let d = GridDeployment::new(4, 4, 200.0).build();
+        let e = env(&d);
+        let g = e.communication_graph();
+        assert_eq!(g.kind(), GraphKind::Undirected);
+        assert!(g.is_connected());
+        // Nominal range at 20 dBm, alpha 3, beta 10 dB, N -100 dBm:
+        // max loss = 110 dB => range = 10^((110-40)/30) ~ 215 m. So lattice
+        // neighbors (200 m) are connected but diagonal ones (~283 m) are not.
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(5)));
+    }
+
+    #[test]
+    fn sensitivity_graph_is_supergraph_of_communication_graph() {
+        let d = GridDeployment::new(4, 4, 200.0).build();
+        let e = env(&d);
+        let comm = e.communication_graph();
+        let sens = e.sensitivity_graph();
+        for (u, v) in comm.edges() {
+            assert!(sens.has_edge(u, v) && sens.has_edge(v, u));
+        }
+        assert!(sens.edge_count() >= 2 * comm.edge_count());
+    }
+
+    #[test]
+    fn interference_diameter_shrinks_with_denser_networks() {
+        let sparse = GridDeployment::new(6, 6, 200.0).build();
+        let dense = GridDeployment::new(6, 6, 60.0).build();
+        let id_sparse = env(&sparse).interference_diameter();
+        let id_dense = env(&dense).interference_diameter();
+        assert!(id_dense <= id_sparse);
+        assert!(id_sparse < usize::MAX);
+    }
+
+    #[test]
+    fn nominal_ranges_match_hand_computation() {
+        let d = line_deployment(100.0, 2);
+        let e = env(&d);
+        // comm range: loss budget 20-(-100)-10 = 110 dB; 40 + 30 log10(r) = 110
+        // => r = 10^(70/30) ~ 215.44 m
+        let r = e.nominal_communication_range_m(20.0);
+        assert!((r - 10f64.powf(70.0 / 30.0)).abs() < 1e-6);
+        // CS range: loss budget 20-(-91) = 111 dB => r = 10^(71/30) ~ 232 m
+        let rcs = e.nominal_carrier_sense_range_m(20.0);
+        assert!(rcs > r);
+    }
+
+    #[test]
+    fn shadowing_changes_gains_reproducibly() {
+        let d = GridDeployment::new(3, 3, 150.0).build();
+        let base = RadioEnvironment::builder().build(&d);
+        let shadowed_a = RadioEnvironment::builder().shadowing(6.0, 1).build(&d);
+        let shadowed_b = RadioEnvironment::builder().shadowing(6.0, 1).build(&d);
+        let shadowed_c = RadioEnvironment::builder().shadowing(6.0, 2).build(&d);
+        assert_eq!(shadowed_a, shadowed_b);
+        assert_ne!(shadowed_a, shadowed_c);
+        assert_ne!(base.gain(NodeId::new(0), NodeId::new(1)), shadowed_a.gain(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(base.shadowing_sigma_db(), 0.0);
+        assert_eq!(shadowed_a.shadowing_sigma_db(), 6.0);
+    }
+
+    #[test]
+    fn heterogeneous_power_breaks_link_symmetry_but_not_gain_symmetry() {
+        let positions = [Point2::new(0.0, 0.0), Point2::new(210.0, 0.0)];
+        let mut nodes = Vec::new();
+        for (i, &p) in positions.iter().enumerate() {
+            nodes.push(scream_topology::NodeInfo::new(
+                NodeId::new(i as u32),
+                p,
+                if i == 0 { 20.0 } else { 0.0 },
+            ));
+        }
+        let d = Deployment::from_nodes(
+            nodes,
+            Rect::square(250.0),
+            scream_topology::DeploymentKind::Custom,
+        )
+        .unwrap();
+        let e = env(&d);
+        // Node 0 is loud, node 1 is quiet: 0->1 decodable, 1->0 not.
+        assert!(e.decodable(NodeId::new(0), NodeId::new(1), &[]));
+        assert!(!e.decodable(NodeId::new(1), NodeId::new(0), &[]));
+        // Hence no bidirectional link, and the communication graph drops it.
+        assert!(!e.link_exists(NodeId::new(0), NodeId::new(1)).unwrap());
+        assert_eq!(e.communication_graph().edge_count(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for the radio simulator.
+
+use scream_topology::NodeId;
+
+/// Errors produced while configuring or querying the radio environment.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetsimError {
+    /// A referenced node id is out of range for the environment.
+    UnknownNode {
+        /// The offending id.
+        id: NodeId,
+        /// Number of nodes in the environment.
+        node_count: usize,
+    },
+    /// A link references the same node as both transmitter and receiver.
+    SelfLink(NodeId),
+    /// A physical-layer parameter is out of its valid range.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetsimError::UnknownNode { id, node_count } => {
+                write!(f, "node {id} does not exist (environment has {node_count} nodes)")
+            }
+            NetsimError::SelfLink(id) => {
+                write!(f, "link from {id} to itself is not a radio link")
+            }
+            NetsimError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetsimError::UnknownNode {
+            id: NodeId::new(3),
+            node_count: 2,
+        };
+        assert!(e.to_string().contains("n3"));
+        assert!(NetsimError::SelfLink(NodeId::new(1)).to_string().contains("n1"));
+        assert!(NetsimError::InvalidParameter("beta".into())
+            .to_string()
+            .contains("beta"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&NetsimError::SelfLink(NodeId::new(0)));
+    }
+}

@@ -1,0 +1,348 @@
+//! Radio propagation models.
+//!
+//! The paper's simulations use a log-normal propagation model with path-loss
+//! exponent 3 (Section VI-A); its analysis assumes a deterministic
+//! log-distance model (Section IV-B, footnote 2). Both are provided here:
+//! [`PropagationModel`] captures the deterministic distance-dependent loss,
+//! and [`ShadowingField`] adds a reproducible, symmetric per-link log-normal
+//! shadowing term on top of it.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic (distance-dependent) part of the path loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagationModel {
+    /// Path-loss exponent `α` (2 = free space, 3 = the paper's setting,
+    /// 3.5–4 = dense urban).
+    exponent: f64,
+    /// Reference path loss at 1 meter, in dB.
+    reference_loss_db: f64,
+    /// Distance below which the reference loss applies unchanged, in meters.
+    reference_distance_m: f64,
+}
+
+impl PropagationModel {
+    /// Default reference loss at 1 m for a 2.4 GHz ISM-band radio, in dB
+    /// (free-space loss at 1 m is ≈ 40 dB).
+    pub const DEFAULT_REFERENCE_LOSS_DB: f64 = 40.0;
+
+    /// Log-distance path loss with the given exponent and the default
+    /// 2.4 GHz reference loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exponent is not in `(1, 10]` — the physical model
+    /// analysis (and the approximation bound of Theorem 4) requires `α > 2`,
+    /// but exponents slightly below 2 are allowed for experimentation.
+    pub fn log_distance(exponent: f64) -> Self {
+        assert!(
+            exponent > 1.0 && exponent <= 10.0,
+            "path-loss exponent must be in (1, 10], got {exponent}"
+        );
+        Self {
+            exponent,
+            reference_loss_db: Self::DEFAULT_REFERENCE_LOSS_DB,
+            reference_distance_m: 1.0,
+        }
+    }
+
+    /// Free-space propagation (exponent 2).
+    pub fn free_space() -> Self {
+        Self::log_distance(2.0)
+    }
+
+    /// The paper's simulation setting: log-distance with exponent 3 (the
+    /// log-normal shadowing component is added separately through
+    /// [`ShadowingField`]).
+    pub fn paper_default() -> Self {
+        Self::log_distance(3.0)
+    }
+
+    /// Overrides the reference loss at the reference distance, in dB.
+    pub fn with_reference_loss_db(mut self, loss_db: f64) -> Self {
+        self.reference_loss_db = loss_db;
+        self
+    }
+
+    /// Overrides the reference distance, in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distance is not strictly positive.
+    pub fn with_reference_distance_m(mut self, d0: f64) -> Self {
+        assert!(d0 > 0.0, "reference distance must be positive");
+        self.reference_distance_m = d0;
+        self
+    }
+
+    /// The path-loss exponent `α`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Path loss in dB over a distance of `distance_m` meters. Distances at
+    /// or below the reference distance return the reference loss.
+    pub fn path_loss_db(&self, distance_m: f64) -> f64 {
+        if distance_m <= self.reference_distance_m {
+            return self.reference_loss_db;
+        }
+        self.reference_loss_db
+            + 10.0 * self.exponent * (distance_m / self.reference_distance_m).log10()
+    }
+
+    /// Linear power gain (received power / transmitted power) over the given
+    /// distance. Always in `(0, 1]`.
+    pub fn gain(&self, distance_m: f64) -> f64 {
+        10f64.powf(-self.path_loss_db(distance_m) / 10.0)
+    }
+
+    /// The distance at which the path loss reaches `loss_db` dB — the inverse
+    /// of [`path_loss_db`](Self::path_loss_db). Used to derive communication
+    /// and carrier-sense ranges from power budgets.
+    pub fn distance_for_loss_db(&self, loss_db: f64) -> f64 {
+        if loss_db <= self.reference_loss_db {
+            return self.reference_distance_m;
+        }
+        self.reference_distance_m
+            * 10f64.powf((loss_db - self.reference_loss_db) / (10.0 * self.exponent))
+    }
+}
+
+impl Default for PropagationModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A reproducible, symmetric per-node-pair log-normal shadowing field.
+///
+/// Shadowing in the log-normal model is a zero-mean Gaussian random variable
+/// (in dB) added to the deterministic path loss. Real shadowing is caused by
+/// obstacles between a *pair* of positions, so the field is symmetric
+/// (`shadow(u, v) == shadow(v, u)`) and fixed for the lifetime of the
+/// environment: it models terrain, not fast fading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShadowingField {
+    sigma_db: f64,
+    node_count: usize,
+    /// Upper-triangular matrix of shadowing values in dB, row-major over
+    /// pairs `(i, j)` with `i < j`.
+    values_db: Vec<f64>,
+}
+
+impl ShadowingField {
+    /// A field with zero variance (no shadowing) over `node_count` nodes.
+    pub fn disabled(node_count: usize) -> Self {
+        Self {
+            sigma_db: 0.0,
+            node_count,
+            values_db: Vec::new(),
+        }
+    }
+
+    /// Generates a field with standard deviation `sigma_db` dB over
+    /// `node_count` nodes, reproducibly from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_db` is negative or not finite.
+    pub fn generate(node_count: usize, sigma_db: f64, seed: u64) -> Self {
+        assert!(
+            sigma_db.is_finite() && sigma_db >= 0.0,
+            "shadowing sigma must be non-negative, got {sigma_db}"
+        );
+        if sigma_db == 0.0 || node_count < 2 {
+            return Self::disabled(node_count);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pairs = node_count * (node_count - 1) / 2;
+        let values_db = (0..pairs)
+            .map(|_| sigma_db * standard_normal(&mut rng))
+            .collect();
+        Self {
+            sigma_db,
+            node_count,
+            values_db,
+        }
+    }
+
+    /// The configured standard deviation in dB.
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// Shadowing offset in dB between nodes `i` and `j` (symmetric; zero on
+    /// the diagonal and when shadowing is disabled).
+    pub fn shadow_db(&self, i: usize, j: usize) -> f64 {
+        if self.values_db.is_empty() || i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        debug_assert!(b < self.node_count);
+        // Index of (a, b), a < b, in the upper-triangular packing.
+        let idx = a * self.node_count - a * (a + 1) / 2 + (b - a - 1);
+        self.values_db[idx]
+    }
+}
+
+/// Draws a standard normal sample via the Box–Muller transform. Implemented
+/// locally to stay within the approved dependency set (`rand` provides
+/// uniform sampling but the normal distribution lives in `rand_distr`).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_loss_grows_with_distance_and_exponent() {
+        let m2 = PropagationModel::log_distance(2.0);
+        let m3 = PropagationModel::log_distance(3.0);
+        assert!(m2.path_loss_db(100.0) < m2.path_loss_db(200.0));
+        assert!(m3.path_loss_db(100.0) > m2.path_loss_db(100.0));
+    }
+
+    #[test]
+    fn path_loss_at_reference_distance_is_reference_loss() {
+        let m = PropagationModel::paper_default();
+        assert_eq!(m.path_loss_db(1.0), PropagationModel::DEFAULT_REFERENCE_LOSS_DB);
+        assert_eq!(m.path_loss_db(0.1), PropagationModel::DEFAULT_REFERENCE_LOSS_DB);
+    }
+
+    #[test]
+    fn log_distance_slope_is_10_alpha_per_decade() {
+        let m = PropagationModel::log_distance(3.0);
+        let slope = m.path_loss_db(1000.0) - m.path_loss_db(100.0);
+        assert!((slope - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_is_inverse_of_path_loss() {
+        let m = PropagationModel::paper_default();
+        let d = 123.0;
+        let gain = m.gain(d);
+        assert!((10.0 * gain.log10() + m.path_loss_db(d)).abs() < 1e-9);
+        assert!(gain > 0.0 && gain <= 1.0);
+    }
+
+    #[test]
+    fn distance_for_loss_inverts_path_loss() {
+        let m = PropagationModel::log_distance(3.0);
+        for d in [5.0, 50.0, 500.0] {
+            let loss = m.path_loss_db(d);
+            assert!((m.distance_for_loss_db(loss) - d).abs() / d < 1e-9);
+        }
+        assert_eq!(m.distance_for_loss_db(0.0), 1.0);
+    }
+
+    #[test]
+    fn free_space_has_exponent_two() {
+        assert_eq!(PropagationModel::free_space().exponent(), 2.0);
+        assert_eq!(PropagationModel::paper_default().exponent(), 3.0);
+        assert_eq!(PropagationModel::default().exponent(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn rejects_unphysical_exponent() {
+        let _ = PropagationModel::log_distance(0.5);
+    }
+
+    #[test]
+    fn custom_reference_changes_absolute_loss_not_slope() {
+        let m = PropagationModel::log_distance(3.0).with_reference_loss_db(30.0);
+        assert_eq!(m.path_loss_db(1.0), 30.0);
+        let slope = m.path_loss_db(100.0) - m.path_loss_db(10.0);
+        assert!((slope - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_is_symmetric_and_reproducible() {
+        let f1 = ShadowingField::generate(20, 6.0, 77);
+        let f2 = ShadowingField::generate(20, 6.0, 77);
+        let f3 = ShadowingField::generate(20, 6.0, 78);
+        assert_eq!(f1, f2);
+        assert_ne!(f1, f3);
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(f1.shadow_db(i, j), f1.shadow_db(j, i));
+            }
+            assert_eq!(f1.shadow_db(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn disabled_shadowing_is_identically_zero() {
+        let f = ShadowingField::disabled(10);
+        assert_eq!(f.sigma_db(), 0.0);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(f.shadow_db(i, j), 0.0);
+            }
+        }
+        let f0 = ShadowingField::generate(10, 0.0, 3);
+        assert_eq!(f0, ShadowingField::disabled(10));
+    }
+
+    #[test]
+    fn shadowing_samples_have_roughly_the_requested_spread() {
+        let sigma = 8.0;
+        let f = ShadowingField::generate(80, sigma, 5);
+        let mut values = Vec::new();
+        for i in 0..80 {
+            for j in (i + 1)..80 {
+                values.push(f.shadow_db(i, j));
+            }
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 1.0, "mean {mean} should be near zero");
+        assert!(
+            (var.sqrt() - sigma).abs() < 1.0,
+            "std {} should be near {sigma}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn shadow_indexing_covers_all_pairs_distinctly() {
+        // Every pair must map to a distinct entry: perturbing one pair's value
+        // must not affect any other pair.
+        let n = 12;
+        let f = ShadowingField::generate(n, 4.0, 9);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let bits = f.shadow_db(i, j).to_bits();
+                seen.insert(bits);
+            }
+        }
+        // With continuous samples, collisions are (essentially) impossible, so
+        // the number of distinct values must equal the number of pairs.
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn standard_normal_is_standardish() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}

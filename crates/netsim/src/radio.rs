@@ -1,0 +1,156 @@
+//! Radio front-end configuration: noise floor, SINR threshold, carrier-sense
+//! threshold, data rate and frame sizes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::DataRate;
+
+/// Physical-layer parameters shared by all nodes in a radio environment.
+///
+/// The SINR threshold `β` is the constant from the physical interference
+/// model of Section II ("a constant that depends on the desired data rate,
+/// modulation scheme, etc."). The carrier-sense threshold is the energy level
+/// above which a listening radio reports channel activity — the mechanism
+/// SCREAM builds its network-wide OR on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Background noise power `N`, in dBm (thermal noise plus receiver noise
+    /// figure over the channel bandwidth).
+    pub noise_floor_dbm: f64,
+    /// SINR threshold `β`, in dB. A transmission is decodable iff its SINR is
+    /// at least this value.
+    pub sinr_threshold_db: f64,
+    /// Carrier-sense (energy-detection) threshold, in dBm. A listening node
+    /// detects activity iff the total received power exceeds this value.
+    pub carrier_sense_threshold_dbm: f64,
+    /// Link data rate used for data packets and ACKs.
+    pub data_rate: DataRate,
+    /// Size of a data packet, in bytes (payload plus headers).
+    pub data_packet_bytes: usize,
+    /// Size of a link-layer ACK, in bytes.
+    pub ack_bytes: usize,
+}
+
+impl RadioConfig {
+    /// Default configuration for an 802.11-class mesh backbone:
+    /// −100 dBm noise floor, β = 10 dB, −91 dBm carrier-sense threshold,
+    /// 11 Mb/s, 1500-byte data packets, 38-byte ACKs.
+    pub fn mesh_default() -> Self {
+        Self {
+            noise_floor_dbm: -100.0,
+            sinr_threshold_db: 10.0,
+            carrier_sense_threshold_dbm: -91.0,
+            data_rate: DataRate::MBPS_11,
+            data_packet_bytes: 1500,
+            ack_bytes: 38,
+        }
+    }
+
+    /// Sets the SINR threshold `β` in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not finite.
+    pub fn with_sinr_threshold_db(mut self, beta_db: f64) -> Self {
+        assert!(beta_db.is_finite(), "SINR threshold must be finite");
+        self.sinr_threshold_db = beta_db;
+        self
+    }
+
+    /// Sets the noise floor in dBm.
+    pub fn with_noise_floor_dbm(mut self, dbm: f64) -> Self {
+        self.noise_floor_dbm = dbm;
+        self
+    }
+
+    /// Sets the carrier-sense threshold in dBm.
+    pub fn with_carrier_sense_threshold_dbm(mut self, dbm: f64) -> Self {
+        self.carrier_sense_threshold_dbm = dbm;
+        self
+    }
+
+    /// Sets the data rate.
+    pub fn with_data_rate(mut self, rate: DataRate) -> Self {
+        self.data_rate = rate;
+        self
+    }
+
+    /// Noise power in milliwatts.
+    pub fn noise_floor_mw(&self) -> f64 {
+        dbm_to_mw(self.noise_floor_dbm)
+    }
+
+    /// SINR threshold as a linear ratio.
+    pub fn sinr_threshold_linear(&self) -> f64 {
+        10f64.powf(self.sinr_threshold_db / 10.0)
+    }
+
+    /// Carrier-sense threshold in milliwatts.
+    pub fn carrier_sense_threshold_mw(&self) -> f64 {
+        dbm_to_mw(self.carrier_sense_threshold_dbm)
+    }
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        Self::mesh_default()
+    }
+}
+
+/// Converts a power level from dBm to milliwatts (re-exported here so the
+/// crate is usable without `scream-topology` in scope).
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts a power level from milliwatts to dBm. Non-positive powers map to
+/// negative infinity.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    if mw <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * mw.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_mesh_default() {
+        assert_eq!(RadioConfig::default(), RadioConfig::mesh_default());
+    }
+
+    #[test]
+    fn linear_conversions_are_consistent() {
+        let c = RadioConfig::mesh_default();
+        assert!((mw_to_dbm(c.noise_floor_mw()) - c.noise_floor_dbm).abs() < 1e-9);
+        assert!((c.sinr_threshold_linear() - 10.0).abs() < 1e-9);
+        assert!(
+            (mw_to_dbm(c.carrier_sense_threshold_mw()) - c.carrier_sense_threshold_dbm).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn builder_style_setters_update_fields() {
+        let c = RadioConfig::mesh_default()
+            .with_sinr_threshold_db(6.0)
+            .with_noise_floor_dbm(-95.0)
+            .with_carrier_sense_threshold_dbm(-85.0)
+            .with_data_rate(DataRate::from_mbps(54));
+        assert_eq!(c.sinr_threshold_db, 6.0);
+        assert_eq!(c.noise_floor_dbm, -95.0);
+        assert_eq!(c.carrier_sense_threshold_dbm, -85.0);
+        assert_eq!(c.data_rate, DataRate::from_mbps(54));
+    }
+
+    #[test]
+    fn carrier_sense_threshold_is_below_decoding_requirement() {
+        // Energy detection must trigger on signals too weak to decode,
+        // otherwise SCREAM relaying would be no more robust than decoding.
+        let c = RadioConfig::mesh_default();
+        assert!(c.carrier_sense_threshold_dbm < c.noise_floor_dbm + c.sinr_threshold_db + 20.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Abstraction over interference models for slot-feasibility checks.
+//!
+//! The schedulers only need to ask two questions: "is this set of links
+//! feasible in one slot?" and "can this link be added to that set?". The
+//! [`SlotFeasibility`] trait captures them, with two implementations:
+//!
+//! * [`RadioEnvironment`](scream_netsim::RadioEnvironment) — the physical
+//!   (SINR) interference model of Section II, the paper's subject;
+//! * [`ProtocolModel`] — the conservative protocol interference model that
+//!   CSMA/CA-style scheduling corresponds to, provided as the comparison
+//!   baseline the paper's introduction argues against.
+
+use serde::{Deserialize, Serialize};
+
+use scream_netsim::RadioEnvironment;
+use scream_topology::{Graph, Link};
+
+/// Interference-model interface used by the schedulers.
+pub trait SlotFeasibility {
+    /// Whether the whole set of links can transmit concurrently in one slot.
+    fn slot_feasible(&self, links: &[Link]) -> bool;
+
+    /// Whether `candidate` can be added to the already-feasible set
+    /// `existing` without breaking feasibility. The default implementation
+    /// re-checks the combined set; implementations may override it with
+    /// something cheaper.
+    fn can_add(&self, existing: &[Link], candidate: Link) -> bool {
+        let mut all = existing.to_vec();
+        all.push(candidate);
+        self.slot_feasible(&all)
+    }
+}
+
+impl SlotFeasibility for RadioEnvironment {
+    fn slot_feasible(&self, links: &[Link]) -> bool {
+        RadioEnvironment::slot_feasible(self, links)
+    }
+
+    fn can_add(&self, existing: &[Link], candidate: Link) -> bool {
+        self.can_add_to_slot(existing, candidate)
+    }
+}
+
+/// Blanket implementation so shared references can be passed where an owner
+/// is expected.
+impl<T: SlotFeasibility + ?Sized> SlotFeasibility for &T {
+    fn slot_feasible(&self, links: &[Link]) -> bool {
+        (**self).slot_feasible(links)
+    }
+
+    fn can_add(&self, existing: &[Link], candidate: Link) -> bool {
+        (**self).can_add(existing, candidate)
+    }
+}
+
+/// The protocol interference model: a communication from `u` to `v` succeeds
+/// iff no node within `interference_range_hops` hops of either endpoint (in
+/// the communication graph) is simultaneously active.
+///
+/// With `interference_range_hops = 1` this is the classic "no active node may
+/// be a neighbor of a receiver" rule; with 2 it approximates RTS/CTS-silenced
+/// 802.11 neighborhoods. The model is *more conservative* than the physical
+/// model in dense regions (it silences nodes whose aggregate interference
+/// would actually be tolerable) which is exactly the capacity argument the
+/// paper's introduction makes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolModel {
+    graph: Graph,
+    interference_range_hops: usize,
+}
+
+impl ProtocolModel {
+    /// Creates a protocol-model checker over the given communication graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interference_range_hops` is zero.
+    pub fn new(graph: Graph, interference_range_hops: usize) -> Self {
+        assert!(
+            interference_range_hops > 0,
+            "interference range must be at least one hop"
+        );
+        Self {
+            graph,
+            interference_range_hops,
+        }
+    }
+
+    /// The configured interference range in hops.
+    pub fn interference_range_hops(&self) -> usize {
+        self.interference_range_hops
+    }
+
+    fn within_interference_range(&self, a: scream_topology::NodeId, b: scream_topology::NodeId) -> bool {
+        self.graph
+            .hop_distance(a, b)
+            .is_some_and(|d| d <= self.interference_range_hops)
+    }
+}
+
+impl SlotFeasibility for ProtocolModel {
+    fn slot_feasible(&self, links: &[Link]) -> bool {
+        for (i, a) in links.iter().enumerate() {
+            if a.head == a.tail {
+                return false;
+            }
+            for b in links.iter().skip(i + 1) {
+                if a.shares_endpoint(b) {
+                    return false;
+                }
+                // Under the protocol model the transmitter of one link must
+                // not be within interference range of the other link's
+                // receiver (and vice versa). Both data and ACK directions are
+                // considered, so all four endpoint pairs are checked.
+                let conflict = self.within_interference_range(a.head, b.tail)
+                    || self.within_interference_range(b.head, a.tail)
+                    || self.within_interference_range(a.tail, b.head)
+                    || self.within_interference_range(b.tail, a.head);
+                if conflict {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scream_netsim::PropagationModel;
+    use scream_topology::{GridDeployment, NodeId, UnitDiskGraphBuilder};
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    fn line_graph(n: usize) -> Graph {
+        let d = GridDeployment::new(n, 1, 100.0).build();
+        UnitDiskGraphBuilder::new(100.0).build(&d)
+    }
+
+    #[test]
+    fn protocol_model_rejects_nearby_concurrent_links() {
+        let m = ProtocolModel::new(line_graph(8), 1);
+        // Links 0->1 and 2->3: transmitter 2 is 1 hop from receiver... wait,
+        // receiver of the first link is node 1, which is 1 hop from node 2.
+        assert!(!m.slot_feasible(&[link(1, 0), link(3, 2)]));
+        // Links 0->1 and 5->4 are far apart.
+        assert!(m.slot_feasible(&[link(1, 0), link(5, 4)]));
+    }
+
+    #[test]
+    fn protocol_model_larger_range_is_more_conservative() {
+        let near = ProtocolModel::new(line_graph(10), 1);
+        let far = ProtocolModel::new(line_graph(10), 3);
+        let links = [link(1, 0), link(5, 4)];
+        assert!(near.slot_feasible(&links));
+        assert!(!far.slot_feasible(&links));
+        assert_eq!(far.interference_range_hops(), 3);
+    }
+
+    #[test]
+    fn protocol_model_rejects_shared_endpoints_and_self_links() {
+        let m = ProtocolModel::new(line_graph(5), 1);
+        assert!(!m.slot_feasible(&[link(1, 0), link(2, 1)]));
+        assert!(!m.slot_feasible(&[link(2, 2)]));
+        assert!(m.slot_feasible(&[]));
+    }
+
+    #[test]
+    fn radio_environment_implements_the_trait() {
+        let d = GridDeployment::new(8, 1, 200.0).build();
+        let env = scream_netsim::RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let checker: &dyn SlotFeasibility = &env;
+        assert!(checker.slot_feasible(&[link(1, 0)]));
+        assert!(!checker.slot_feasible(&[link(1, 0), link(2, 1)]));
+        // can_add agrees with slot_feasible through the trait object.
+        let far = link(7, 6);
+        assert_eq!(
+            checker.can_add(&[link(1, 0)], far),
+            checker.slot_feasible(&[link(1, 0), far])
+        );
+    }
+
+    #[test]
+    fn reference_blanket_impl_delegates() {
+        let m = ProtocolModel::new(line_graph(8), 1);
+        let by_ref: &ProtocolModel = &m;
+        assert_eq!(
+            SlotFeasibility::slot_feasible(&by_ref, &[link(1, 0), link(5, 4)]),
+            m.slot_feasible(&[link(1, 0), link(5, 4)])
+        );
+    }
+
+    #[test]
+    fn physical_model_admits_sets_a_conservative_protocol_model_rejects() {
+        // The motivating claim of the paper: the physical model admits more
+        // concurrency than a conservative protocol-model rule. Build a line
+        // of 12 nodes at 150 m spacing; the links (1->0), (5->4), (9->8) are
+        // 4 hops apart, which a CSMA/CA-like rule silencing a 3-hop
+        // neighborhood (carrier-sense range ~2x communication range) forbids,
+        // while the aggregate SINR at every receiver stays above beta.
+        let d = GridDeployment::new(12, 1, 150.0).build();
+        let env = scream_netsim::RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let graph = env.communication_graph();
+        let protocol = ProtocolModel::new(graph, 3);
+        let links = [link(1, 0), link(5, 4), link(9, 8)];
+        let physical_ok = SlotFeasibility::slot_feasible(&env, &links);
+        let protocol_ok = protocol.slot_feasible(&links);
+        assert!(physical_ok);
+        assert!(!protocol_ok);
+    }
+}

@@ -1,0 +1,322 @@
+//! The centralized GreedyPhysical scheduling algorithm.
+//!
+//! GreedyPhysical is the polynomial-time, approximation-bounded centralized
+//! scheduler from the authors' MobiCom 2006 paper \[4\], which this paper
+//! uses both as the evaluation baseline ("Centralized" in Figures 6 and 7)
+//! and as the reference point of Theorem 4: the FDD protocol recreates the
+//! exact schedule GreedyPhysical computes when edges are considered in
+//! decreasing order of their head node's id.
+//!
+//! The algorithm considers edges one at a time in a fixed order; for every
+//! unit of demand on the current edge it scans the slots built so far and
+//! places the transmission in the first slot that remains feasible with the
+//! edge added, appending a fresh slot if none works (first-fit greedy).
+
+use serde::{Deserialize, Serialize};
+
+use scream_topology::{Link, LinkDemands};
+
+use crate::feasibility::SlotFeasibility;
+use crate::schedule::Schedule;
+
+/// Order in which GreedyPhysical considers the edges.
+///
+/// The approximation bound of \[4\] holds for any initial ordering; the
+/// ordering only matters when comparing against a distributed execution
+/// (FDD ≡ GreedyPhysical requires decreasing head-id order, Theorem 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EdgeOrdering {
+    /// Decreasing id of the edge's head node — the order FDD realizes through
+    /// repeated leader election.
+    #[default]
+    DecreasingHeadId,
+    /// Increasing id of the edge's head node.
+    IncreasingHeadId,
+    /// Decreasing aggregated demand (longest-processing-time-first flavour),
+    /// breaking ties by decreasing head id.
+    DecreasingDemand,
+    /// Increasing aggregated demand, breaking ties by increasing head id.
+    IncreasingDemand,
+}
+
+impl EdgeOrdering {
+    /// Sorts `(link, demand)` pairs according to this ordering.
+    pub fn sort(&self, edges: &mut [(Link, u64)]) {
+        match self {
+            EdgeOrdering::DecreasingHeadId => {
+                edges.sort_by(|a, b| b.0.head.cmp(&a.0.head));
+            }
+            EdgeOrdering::IncreasingHeadId => {
+                edges.sort_by(|a, b| a.0.head.cmp(&b.0.head));
+            }
+            EdgeOrdering::DecreasingDemand => {
+                edges.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.head.cmp(&a.0.head)));
+            }
+            EdgeOrdering::IncreasingDemand => {
+                edges.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.head.cmp(&b.0.head)));
+            }
+        }
+    }
+}
+
+/// The centralized greedy first-fit scheduler for the physical interference
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GreedyPhysical {
+    ordering: EdgeOrdering,
+}
+
+impl GreedyPhysical {
+    /// Creates a scheduler with the given edge ordering.
+    pub fn new(ordering: EdgeOrdering) -> Self {
+        Self { ordering }
+    }
+
+    /// The scheduler used as the paper's baseline (decreasing head-id order,
+    /// matching FDD).
+    pub fn paper_baseline() -> Self {
+        Self::new(EdgeOrdering::DecreasingHeadId)
+    }
+
+    /// The configured edge ordering.
+    pub fn ordering(&self) -> EdgeOrdering {
+        self.ordering
+    }
+
+    /// Computes a feasible schedule satisfying every link's demand under the
+    /// given interference model.
+    ///
+    /// The returned schedule allocates exactly `demand(e)` slots to every
+    /// demanded link `e`, and every slot is feasible under `model` (both
+    /// properties are checked by `verify_schedule` in this crate's tests and
+    /// the integration tests).
+    pub fn schedule<M: SlotFeasibility>(&self, model: &M, demands: &LinkDemands) -> Schedule {
+        let mut edges: Vec<(Link, u64)> = demands.demanded_links().collect();
+        self.ordering.sort(&mut edges);
+
+        let mut schedule = Schedule::new();
+        for (link, demand) in edges {
+            let mut remaining = demand;
+            let mut slot = 0usize;
+            while remaining > 0 {
+                if slot == schedule.length() {
+                    // No existing slot accepted this transmission: open a new
+                    // one. A single link alone is always feasible if the link
+                    // is usable at all; if even the solo slot is infeasible
+                    // (link out of range under `model`) we still allocate it
+                    // so the demand accounting stays consistent — the
+                    // verifier will flag the infeasibility explicitly.
+                    schedule.push_slot(vec![link]);
+                    remaining -= 1;
+                    slot += 1;
+                    continue;
+                }
+                let existing = schedule.slot(slot);
+                if !existing.contains(&link) && model.can_add(existing, link) {
+                    schedule.assign(slot, link);
+                    remaining -= 1;
+                }
+                slot += 1;
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feasibility::ProtocolModel;
+    use crate::verify::verify_schedule;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use scream_netsim::{PropagationModel, RadioEnvironment};
+    use scream_topology::{
+        DemandConfig, DemandVector, Deployment, GridDeployment, NodeId, RoutingForest,
+        UnitDiskGraphBuilder,
+    };
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    /// A permissive model that only enforces the shared-endpoint rule —
+    /// convenient for exercising the packing logic deterministically.
+    struct EndpointOnly;
+    impl SlotFeasibility for EndpointOnly {
+        fn slot_feasible(&self, links: &[Link]) -> bool {
+            for (i, a) in links.iter().enumerate() {
+                for b in links.iter().skip(i + 1) {
+                    if a.shares_endpoint(b) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+
+    fn grid_instance(
+        side: usize,
+        step: f64,
+        seed: u64,
+    ) -> (RadioEnvironment, LinkDemands) {
+        let d: Deployment = GridDeployment::new(side, side, step).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let graph = env.communication_graph();
+        let gws = d.corner_nodes();
+        let forest = RoutingForest::shortest_path(&graph, &gws, seed).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let demands = DemandVector::generate(d.len(), DemandConfig::PAPER, &gws, &mut rng);
+        let ld = LinkDemands::aggregate(&forest, &demands).unwrap();
+        (env, ld)
+    }
+
+    #[test]
+    fn ordering_sorts_as_documented() {
+        let mut edges = vec![(link(2, 0), 5), (link(7, 0), 1), (link(4, 0), 3)];
+        EdgeOrdering::DecreasingHeadId.sort(&mut edges);
+        assert_eq!(edges.iter().map(|e| e.0.head.0).collect::<Vec<_>>(), vec![7, 4, 2]);
+        EdgeOrdering::IncreasingHeadId.sort(&mut edges);
+        assert_eq!(edges.iter().map(|e| e.0.head.0).collect::<Vec<_>>(), vec![2, 4, 7]);
+        EdgeOrdering::DecreasingDemand.sort(&mut edges);
+        assert_eq!(edges.iter().map(|e| e.1).collect::<Vec<_>>(), vec![5, 3, 1]);
+        EdgeOrdering::IncreasingDemand.sort(&mut edges);
+        assert_eq!(edges.iter().map(|e| e.1).collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn single_link_demand_fills_exactly_that_many_slots() {
+        let demands =
+            LinkDemands::from_links(3, &[(link(1, 0), 4)]).unwrap();
+        let schedule = GreedyPhysical::paper_baseline().schedule(&EndpointOnly, &demands);
+        assert_eq!(schedule.length(), 4);
+        assert_eq!(schedule.allocated_to(link(1, 0)), 4);
+    }
+
+    #[test]
+    fn independent_links_share_slots() {
+        // Two endpoint-disjoint links with equal demand pack perfectly.
+        let demands =
+            LinkDemands::from_links(4, &[(link(1, 0), 3), (link(3, 2), 3)]).unwrap();
+        let schedule = GreedyPhysical::paper_baseline().schedule(&EndpointOnly, &demands);
+        assert_eq!(schedule.length(), 3);
+        assert!((schedule.spatial_reuse() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_links_are_serialized() {
+        // Links sharing node 1 can never coexist.
+        let demands =
+            LinkDemands::from_links(3, &[(link(1, 0), 2), (link(2, 1), 2)]).unwrap();
+        let schedule = GreedyPhysical::paper_baseline().schedule(&EndpointOnly, &demands);
+        assert_eq!(schedule.length(), 4);
+        verify_schedule(&EndpointOnly, &schedule, &demands).unwrap();
+    }
+
+    #[test]
+    fn schedule_satisfies_demands_and_feasibility_on_grid_instance() {
+        let (env, ld) = grid_instance(5, 200.0, 3);
+        let schedule = GreedyPhysical::paper_baseline().schedule(&env, &ld);
+        verify_schedule(&env, &schedule, &ld).unwrap();
+        // The greedy schedule must never be longer than full serialization.
+        assert!(schedule.length() <= ld.total_demand() as usize);
+        // And with 25 nodes spread over 800x800 m there must be some reuse.
+        assert!(schedule.spatial_reuse() > 1.0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let (env, ld) = grid_instance(4, 200.0, 9);
+        let a = GreedyPhysical::paper_baseline().schedule(&env, &ld);
+        let b = GreedyPhysical::paper_baseline().schedule(&env, &ld);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_orderings_still_produce_valid_schedules() {
+        let (env, ld) = grid_instance(4, 200.0, 5);
+        for ordering in [
+            EdgeOrdering::DecreasingHeadId,
+            EdgeOrdering::IncreasingHeadId,
+            EdgeOrdering::DecreasingDemand,
+            EdgeOrdering::IncreasingDemand,
+        ] {
+            let schedule = GreedyPhysical::new(ordering).schedule(&env, &ld);
+            verify_schedule(&env, &schedule, &ld)
+                .unwrap_or_else(|e| panic!("ordering {ordering:?} produced invalid schedule: {e}"));
+        }
+    }
+
+    #[test]
+    fn protocol_model_schedules_collide_under_sinr_while_physical_ones_do_not() {
+        // The paper's argument against protocol-model (CSMA/CA-style)
+        // scheduling is not that it always packs worse, but that its notion of
+        // "non-conflicting" ignores aggregate interference: schedules it
+        // accepts are not actually decodable under the physical model. Here
+        // the greedy scheduler is run against both models on the same
+        // instance; every slot of the physical-model schedule verifies under
+        // SINR, while the protocol-model schedule contains slots that do not.
+        let d = GridDeployment::new(6, 6, 150.0).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let graph = env.communication_graph();
+        let gws = d.corner_nodes();
+        let forest = RoutingForest::shortest_path(&graph, &gws, 2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let demands = DemandVector::generate(d.len(), DemandConfig::PAPER, &gws, &mut rng);
+        let ld = LinkDemands::aggregate(&forest, &demands).unwrap();
+
+        let physical = GreedyPhysical::paper_baseline().schedule(&env, &ld);
+        verify_schedule(&env, &physical, &ld).unwrap();
+
+        let protocol_model =
+            ProtocolModel::new(UnitDiskGraphBuilder::new(260.0).build(&d), 2);
+        let protocol = GreedyPhysical::paper_baseline().schedule(&protocol_model, &ld);
+        verify_schedule(&protocol_model, &protocol, &ld).unwrap();
+        let sinr_violations = protocol
+            .slots()
+            .filter(|slot| slot.len() > 1 && !env.slot_feasible(slot))
+            .count();
+        assert!(
+            sinr_violations > 0,
+            "expected the protocol-model schedule to contain SINR-infeasible slots"
+        );
+    }
+
+    #[test]
+    fn multi_hop_grid_achieves_substantial_improvement_over_serialized() {
+        // On a multi-hop grid with per-node demands, the physical-model
+        // greedy must achieve a clearly non-trivial improvement over the
+        // serialized schedule (Figure 6 reports tens of percent).
+        let d = GridDeployment::new(6, 6, 150.0).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let graph = env.communication_graph();
+        let gws = d.corner_nodes();
+        let forest = RoutingForest::shortest_path(&graph, &gws, 2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let demands = DemandVector::generate(d.len(), DemandConfig::PAPER, &gws, &mut rng);
+        let ld = LinkDemands::aggregate(&forest, &demands).unwrap();
+        let schedule = GreedyPhysical::paper_baseline().schedule(&env, &ld);
+        verify_schedule(&env, &schedule, &ld).unwrap();
+        let metrics = crate::metrics::ScheduleMetrics::compute(&schedule, &ld);
+        assert!(
+            metrics.improvement_over_linear_pct > 20.0,
+            "expected >20% improvement, got {:.1}%",
+            metrics.improvement_over_linear_pct
+        );
+        assert!(metrics.spatial_reuse > 1.2);
+    }
+
+    #[test]
+    fn zero_demand_instance_yields_empty_schedule() {
+        let demands = LinkDemands::from_links(3, &[(link(1, 0), 0)]).unwrap();
+        let schedule = GreedyPhysical::paper_baseline().schedule(&EndpointOnly, &demands);
+        assert!(schedule.is_empty());
+    }
+}

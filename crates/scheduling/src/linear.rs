@@ -1,0 +1,78 @@
+//! The serialized ("linear") baseline schedule.
+//!
+//! Figures 6 and 7 of the paper report schedule quality as the *percentage
+//! improvement over the worst-case serialized schedule*: the schedule that
+//! satisfies demands by activating exactly one link per slot, whose length is
+//! therefore the total traffic demand `TD`. This module builds that baseline.
+
+use scream_topology::LinkDemands;
+
+use crate::schedule::Schedule;
+
+/// Builds the serialized schedule: one slot per unit of demand, one link per
+/// slot, links in increasing owner-id order.
+///
+/// The result trivially satisfies all demands and is feasible under any
+/// interference model that accepts single-link slots, and its length equals
+/// [`LinkDemands::total_demand`].
+pub fn serialized_schedule(demands: &LinkDemands) -> Schedule {
+    let mut schedule = Schedule::new();
+    for (link, demand) in demands.demanded_links() {
+        for _ in 0..demand {
+            schedule.push_slot(vec![link]);
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_schedule;
+    use scream_topology::{Link, NodeId};
+
+    struct AcceptAll;
+    impl crate::feasibility::SlotFeasibility for AcceptAll {
+        fn slot_feasible(&self, _links: &[Link]) -> bool {
+            true
+        }
+    }
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    #[test]
+    fn length_equals_total_demand() {
+        let demands =
+            LinkDemands::from_links(5, &[(link(1, 0), 3), (link(3, 2), 2), (link(4, 0), 0)])
+                .unwrap();
+        let s = serialized_schedule(&demands);
+        assert_eq!(s.length() as u64, demands.total_demand());
+        assert_eq!(s.length(), 5);
+    }
+
+    #[test]
+    fn every_slot_holds_exactly_one_link() {
+        let demands =
+            LinkDemands::from_links(5, &[(link(1, 0), 3), (link(3, 2), 2)]).unwrap();
+        let s = serialized_schedule(&demands);
+        assert!(s.slots().all(|slot| slot.len() == 1));
+        assert!((s.spatial_reuse() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialized_schedule_satisfies_demands() {
+        let demands =
+            LinkDemands::from_links(6, &[(link(1, 0), 4), (link(3, 2), 1), (link(5, 4), 2)])
+                .unwrap();
+        let s = serialized_schedule(&demands);
+        verify_schedule(&AcceptAll, &s, &demands).unwrap();
+    }
+
+    #[test]
+    fn empty_demand_gives_empty_schedule() {
+        let demands = LinkDemands::from_links(2, &[]).unwrap();
+        assert!(serialized_schedule(&demands).is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! The STDMA schedule representation.
+//!
+//! A schedule is an ordered sequence of slots, each containing the set of
+//! links that transmit concurrently in that slot. Both the centralized
+//! GreedyPhysical algorithm and the distributed PDD/FDD protocols produce
+//! values of this type, which makes cross-checking them (Theorem 4) a simple
+//! equality test.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use scream_topology::{Link, NodeId};
+
+/// An STDMA schedule: `slots[t]` is the set of links transmitting in slot `t`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    slots: Vec<Vec<Link>>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a schedule from explicit slots, normalizing the link order
+    /// inside every slot (slot contents are sets; order carries no meaning).
+    pub fn from_slots(slots: Vec<Vec<Link>>) -> Self {
+        let mut s = Self { slots };
+        for slot in &mut s.slots {
+            slot.sort_unstable();
+            slot.dedup();
+        }
+        s
+    }
+
+    /// Number of slots (the schedule length `T` the paper minimizes).
+    pub fn length(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the schedule has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The links scheduled in slot `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn slot(&self, t: usize) -> &[Link] {
+        &self.slots[t]
+    }
+
+    /// Iterator over the slots in order.
+    pub fn slots(&self) -> impl Iterator<Item = &[Link]> + '_ {
+        self.slots.iter().map(Vec::as_slice)
+    }
+
+    /// Appends a new slot containing the given links and returns its index.
+    pub fn push_slot(&mut self, links: Vec<Link>) -> usize {
+        let mut links = links;
+        links.sort_unstable();
+        links.dedup();
+        self.slots.push(links);
+        self.slots.len() - 1
+    }
+
+    /// Adds `link` to slot `t`, extending the schedule with empty slots if
+    /// `t` is beyond the current length. Adding a link twice to the same slot
+    /// has no effect.
+    pub fn assign(&mut self, t: usize, link: Link) {
+        while self.slots.len() <= t {
+            self.slots.push(Vec::new());
+        }
+        let slot = &mut self.slots[t];
+        if !slot.contains(&link) {
+            slot.push(link);
+            slot.sort_unstable();
+        }
+    }
+
+    /// Whether slot `t` already contains `link`.
+    pub fn contains(&self, t: usize, link: Link) -> bool {
+        self.slots.get(t).is_some_and(|s| s.contains(&link))
+    }
+
+    /// Number of slots allocated to each link across the whole schedule.
+    pub fn allocation_counts(&self) -> HashMap<Link, u64> {
+        let mut counts = HashMap::new();
+        for slot in &self.slots {
+            for &link in slot {
+                *counts.entry(link).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of slots in which `link` appears.
+    pub fn allocated_to(&self, link: Link) -> u64 {
+        self.slots.iter().filter(|s| s.contains(&link)).count() as u64
+    }
+
+    /// Total number of (link, slot) transmission opportunities in the
+    /// schedule.
+    pub fn total_transmissions(&self) -> u64 {
+        self.slots.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Average number of concurrent links per slot — the spatial-reuse factor
+    /// the physical model is supposed to unlock relative to serialized
+    /// (one-link-per-slot) scheduling.
+    pub fn spatial_reuse(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        self.total_transmissions() as f64 / self.length() as f64
+    }
+
+    /// Removes trailing empty slots (produced by some distributed runs when a
+    /// round seals an empty slot at termination).
+    pub fn trim_empty_slots(&mut self) {
+        while self.slots.last().is_some_and(Vec::is_empty) {
+            self.slots.pop();
+        }
+    }
+
+    /// All distinct nodes that appear as an endpoint of any scheduled link.
+    pub fn participating_nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self
+            .slots
+            .iter()
+            .flatten()
+            .flat_map(|l| [l.head, l.tail])
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "schedule with {} slots:", self.length())?;
+        for (t, slot) in self.slots.iter().enumerate() {
+            let links: Vec<String> = slot.iter().map(|l| l.to_string()).collect();
+            writeln!(f, "  slot {t:>3}: {}", links.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_length() {
+        let s = Schedule::new();
+        assert_eq!(s.length(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.spatial_reuse(), 0.0);
+        assert!(s.participating_nodes().is_empty());
+    }
+
+    #[test]
+    fn push_slot_and_assign_agree() {
+        let mut a = Schedule::new();
+        a.push_slot(vec![link(1, 0), link(3, 2)]);
+        a.push_slot(vec![link(5, 4)]);
+
+        let mut b = Schedule::new();
+        b.assign(0, link(3, 2));
+        b.assign(0, link(1, 0));
+        b.assign(1, link(5, 4));
+
+        assert_eq!(a, b);
+        assert_eq!(a.length(), 2);
+    }
+
+    #[test]
+    fn assign_extends_schedule_and_ignores_duplicates() {
+        let mut s = Schedule::new();
+        s.assign(3, link(1, 0));
+        assert_eq!(s.length(), 4);
+        assert!(s.slot(0).is_empty());
+        s.assign(3, link(1, 0));
+        assert_eq!(s.slot(3).len(), 1);
+        assert!(s.contains(3, link(1, 0)));
+        assert!(!s.contains(0, link(1, 0)));
+        assert!(!s.contains(99, link(1, 0)));
+    }
+
+    #[test]
+    fn from_slots_normalizes_order_and_duplicates() {
+        let a = Schedule::from_slots(vec![vec![link(3, 2), link(1, 0), link(1, 0)]]);
+        let b = Schedule::from_slots(vec![vec![link(1, 0), link(3, 2)]]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn allocation_counts_track_per_link_slots() {
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(1, 0), link(3, 2)]);
+        s.push_slot(vec![link(1, 0)]);
+        s.push_slot(vec![link(5, 4)]);
+        assert_eq!(s.allocated_to(link(1, 0)), 2);
+        assert_eq!(s.allocated_to(link(3, 2)), 1);
+        assert_eq!(s.allocated_to(link(9, 8)), 0);
+        let counts = s.allocation_counts();
+        assert_eq!(counts[&link(1, 0)], 2);
+        assert_eq!(counts.len(), 3);
+        assert_eq!(s.total_transmissions(), 4);
+    }
+
+    #[test]
+    fn spatial_reuse_is_average_concurrency() {
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(1, 0), link(3, 2)]);
+        s.push_slot(vec![link(5, 4)]);
+        assert!((s.spatial_reuse() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trim_empty_slots_removes_only_trailing_empties() {
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(1, 0)]);
+        s.push_slot(vec![]);
+        s.push_slot(vec![link(3, 2)]);
+        s.push_slot(vec![]);
+        s.push_slot(vec![]);
+        s.trim_empty_slots();
+        assert_eq!(s.length(), 3);
+        assert!(s.slot(1).is_empty());
+    }
+
+    #[test]
+    fn participating_nodes_are_sorted_and_unique() {
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(1, 0), link(3, 2)]);
+        s.push_slot(vec![link(1, 0)]);
+        assert_eq!(
+            s.participating_nodes(),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn display_mentions_every_slot() {
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(1, 0)]);
+        s.push_slot(vec![link(3, 2)]);
+        let text = s.to_string();
+        assert!(text.contains("2 slots"));
+        assert!(text.contains("n1->n0"));
+        assert!(text.contains("n3->n2"));
+    }
+}

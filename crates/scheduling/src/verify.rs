@@ -1,0 +1,226 @@
+//! Schedule verification: demand satisfaction and per-slot feasibility.
+//!
+//! Both the centralized and distributed schedulers are validated against this
+//! single verifier, which re-checks every slot against the interference model
+//! and every link against its demand. The distributed protocols never get to
+//! "grade their own homework".
+
+use scream_topology::{Link, LinkDemands};
+
+use crate::feasibility::SlotFeasibility;
+use crate::schedule::Schedule;
+
+/// Ways a schedule can fail verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleViolation {
+    /// A slot's link set is not feasible under the interference model.
+    InfeasibleSlot {
+        /// Index of the offending slot.
+        slot: usize,
+        /// The links scheduled in that slot.
+        links: Vec<Link>,
+    },
+    /// A link received a different number of slots than its demand.
+    DemandMismatch {
+        /// The link in question.
+        link: Link,
+        /// Slots the schedule allocated to it.
+        allocated: u64,
+        /// Slots its demand requires.
+        required: u64,
+    },
+    /// A link appears in the schedule but is not part of the demanded set.
+    UnknownLink {
+        /// The offending link.
+        link: Link,
+        /// The slot it first appears in.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::InfeasibleSlot { slot, links } => {
+                let links: Vec<String> = links.iter().map(|l| l.to_string()).collect();
+                write!(f, "slot {slot} is infeasible: [{}]", links.join(", "))
+            }
+            ScheduleViolation::DemandMismatch {
+                link,
+                allocated,
+                required,
+            } => write!(
+                f,
+                "link {link} allocated {allocated} slot(s) but its demand is {required}"
+            ),
+            ScheduleViolation::UnknownLink { link, slot } => {
+                write!(f, "link {link} (first seen in slot {slot}) is not a demanded link")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleViolation {}
+
+/// Verifies that `schedule` satisfies `demands` exactly and that every slot
+/// is feasible under `model`.
+///
+/// # Errors
+///
+/// Returns the first violation found, checking slots in order and then
+/// demands in link order.
+pub fn verify_schedule<M: SlotFeasibility>(
+    model: &M,
+    schedule: &Schedule,
+    demands: &LinkDemands,
+) -> Result<(), ScheduleViolation> {
+    // Every scheduled link must be a demanded link.
+    for (t, slot) in schedule.slots().enumerate() {
+        for &l in slot {
+            if demands.demand_of_link(l).is_none() {
+                return Err(ScheduleViolation::UnknownLink { link: l, slot: t });
+            }
+        }
+    }
+    // Every slot must be feasible.
+    for (t, slot) in schedule.slots().enumerate() {
+        if !slot.is_empty() && !model.slot_feasible(slot) {
+            return Err(ScheduleViolation::InfeasibleSlot {
+                slot: t,
+                links: slot.to_vec(),
+            });
+        }
+    }
+    // Every demanded link must get exactly its demand.
+    for (link, required) in demands.demanded_links() {
+        let allocated = schedule.allocated_to(link);
+        if allocated != required {
+            return Err(ScheduleViolation::DemandMismatch {
+                link,
+                allocated,
+                required,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies only the feasibility of every slot, ignoring demands. Useful for
+/// partially built schedules (e.g. inspecting a distributed run mid-flight).
+pub fn verify_slots_feasible<M: SlotFeasibility>(
+    model: &M,
+    schedule: &Schedule,
+) -> Result<(), ScheduleViolation> {
+    for (t, slot) in schedule.slots().enumerate() {
+        if !slot.is_empty() && !model.slot_feasible(slot) {
+            return Err(ScheduleViolation::InfeasibleSlot {
+                slot: t,
+                links: slot.to_vec(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scream_topology::NodeId;
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    /// Model that only rejects shared endpoints.
+    struct EndpointOnly;
+    impl SlotFeasibility for EndpointOnly {
+        fn slot_feasible(&self, links: &[Link]) -> bool {
+            for (i, a) in links.iter().enumerate() {
+                for b in links.iter().skip(i + 1) {
+                    if a.shares_endpoint(b) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+
+    fn demands() -> LinkDemands {
+        LinkDemands::from_links(6, &[(link(1, 0), 2), (link(3, 2), 1)]).unwrap()
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(1, 0), link(3, 2)]);
+        s.push_slot(vec![link(1, 0)]);
+        verify_schedule(&EndpointOnly, &s, &demands()).unwrap();
+        verify_slots_feasible(&EndpointOnly, &s).unwrap();
+    }
+
+    #[test]
+    fn underallocation_is_reported() {
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(1, 0), link(3, 2)]);
+        let err = verify_schedule(&EndpointOnly, &s, &demands()).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleViolation::DemandMismatch {
+                link: link(1, 0),
+                allocated: 1,
+                required: 2
+            }
+        );
+        assert!(err.to_string().contains("n1->n0"));
+    }
+
+    #[test]
+    fn overallocation_is_reported() {
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(1, 0)]);
+        s.push_slot(vec![link(1, 0)]);
+        s.push_slot(vec![link(1, 0), link(3, 2)]);
+        let err = verify_schedule(&EndpointOnly, &s, &demands()).unwrap_err();
+        assert!(matches!(err, ScheduleViolation::DemandMismatch { allocated: 3, .. }));
+    }
+
+    #[test]
+    fn infeasible_slot_is_reported_with_its_contents() {
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(1, 0), link(2, 1)]);
+        let err = verify_slots_feasible(&EndpointOnly, &s).unwrap_err();
+        match err {
+            ScheduleViolation::InfeasibleSlot { slot, links } => {
+                assert_eq!(slot, 0);
+                assert_eq!(links.len(), 2);
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_link_is_reported() {
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(5, 4)]);
+        let err = verify_schedule(&EndpointOnly, &s, &demands()).unwrap_err();
+        assert!(matches!(err, ScheduleViolation::UnknownLink { .. }));
+        assert!(err.to_string().contains("n5->n4"));
+    }
+
+    #[test]
+    fn empty_slots_are_tolerated_by_feasibility_check() {
+        let s = Schedule::from_slots(vec![vec![], vec![link(1, 0)], vec![], vec![link(1, 0)], vec![link(3, 2)]]);
+        verify_schedule(&EndpointOnly, &s, &demands()).unwrap();
+    }
+
+    #[test]
+    fn violations_implement_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&ScheduleViolation::UnknownLink {
+            link: link(1, 0),
+            slot: 0,
+        });
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for topology construction.
+
+use crate::node::NodeId;
+
+/// Errors produced while building deployments, graphs or routing forests.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The deployment contains no nodes.
+    EmptyDeployment,
+    /// A referenced node id is out of range for the deployment.
+    UnknownNode {
+        /// The offending id.
+        id: NodeId,
+        /// Number of nodes in the deployment.
+        node_count: usize,
+    },
+    /// The communication graph is not connected, so no routing forest
+    /// reaching every node from the gateways exists.
+    Disconnected {
+        /// Number of nodes unreachable from any gateway.
+        unreachable: usize,
+    },
+    /// No gateways were supplied when building a routing forest.
+    NoGateways,
+    /// A gateway id was listed more than once.
+    DuplicateGateway(NodeId),
+    /// The demand vector length does not match the number of nodes.
+    DemandLengthMismatch {
+        /// Number of demands supplied.
+        demands: usize,
+        /// Number of nodes in the deployment.
+        nodes: usize,
+    },
+    /// An invalid parameter was supplied (non-positive range, zero nodes, ...).
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::EmptyDeployment => write!(f, "deployment contains no nodes"),
+            TopologyError::UnknownNode { id, node_count } => {
+                write!(f, "node {id} does not exist (deployment has {node_count} nodes)")
+            }
+            TopologyError::Disconnected { unreachable } => write!(
+                f,
+                "communication graph is disconnected: {unreachable} node(s) unreachable from the gateways"
+            ),
+            TopologyError::NoGateways => write!(f, "no gateway nodes were specified"),
+            TopologyError::DuplicateGateway(id) => {
+                write!(f, "gateway {id} listed more than once")
+            }
+            TopologyError::DemandLengthMismatch { demands, nodes } => write!(
+                f,
+                "demand vector has {demands} entries but the deployment has {nodes} nodes"
+            ),
+            TopologyError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_relevant_entity() {
+        let e = TopologyError::UnknownNode {
+            id: NodeId::new(9),
+            node_count: 4,
+        };
+        assert!(e.to_string().contains("n9"));
+        assert!(e.to_string().contains('4'));
+
+        let e = TopologyError::Disconnected { unreachable: 3 };
+        assert!(e.to_string().contains('3'));
+
+        let e = TopologyError::DemandLengthMismatch {
+            demands: 5,
+            nodes: 7,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&TopologyError::NoGateways);
+    }
+}

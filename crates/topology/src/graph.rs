@@ -1,0 +1,509 @@
+//! Communication and sensitivity graphs, plus the graph algorithms used by
+//! the SCREAM protocols and their analysis.
+//!
+//! The paper distinguishes the *communication graph* `G = (V, E)` (links that
+//! exist in the absence of interference) from the *sensitivity graph*
+//! `G_S = (V, E_S)` (Definition 1: `(u, v) ∈ E_S` iff `v` can detect channel
+//! activity when only `u` transmits). The SCREAM primitive floods one hop of
+//! `G_S` per scream slot, so its required duration is the *interference
+//! diameter* `ID(G_S)` (Definition 2) — the maximum hop distance between any
+//! pair of nodes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::deploy::Deployment;
+use crate::error::TopologyError;
+use crate::node::NodeId;
+
+/// Whether a [`Graph`] is directed or undirected.
+///
+/// The communication graph is undirected (unidirectional links are discarded
+/// because link-layer ACKs are required, Section II); the sensitivity graph is
+/// directed in general but becomes undirected under the equal-carrier-sense
+///-range assumption of Section IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphKind {
+    /// Every edge `(u, v)` implies the reverse edge `(v, u)`.
+    Undirected,
+    /// Edges are one-way.
+    Directed,
+}
+
+/// A graph over the nodes of a deployment, stored as adjacency lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    kind: GraphKind,
+    adjacency: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph (no edges) over `n` nodes.
+    pub fn new(n: usize, kind: GraphKind) -> Self {
+        Self {
+            kind,
+            adjacency: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Whether the graph is directed or undirected.
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges. For undirected graphs each edge is counted once.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Adds an edge from `u` to `v`. For undirected graphs the reverse edge
+    /// is added implicitly. Duplicate edges and self-loops are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] if either endpoint is out of
+    /// range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), TopologyError> {
+        let n = self.node_count();
+        for id in [u, v] {
+            if id.index() >= n {
+                return Err(TopologyError::UnknownNode { id, node_count: n });
+            }
+        }
+        if u == v || self.has_edge(u, v) {
+            return Ok(());
+        }
+        self.adjacency[u.index()].push(v);
+        if self.kind == GraphKind::Undirected {
+            self.adjacency[v.index()].push(u);
+        }
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Returns `true` if an edge from `u` to `v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency
+            .get(u.index())
+            .map(|nbrs| nbrs.contains(&v))
+            .unwrap_or(false)
+    }
+
+    /// Out-neighbors of `u`.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adjacency[u.index()]
+    }
+
+    /// Degree (number of out-neighbors) of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u.index()].len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId::new)
+    }
+
+    /// Iterator over all edges. For undirected graphs each edge appears once,
+    /// with the smaller id first.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(move |(u, nbrs)| {
+            let u = NodeId::new(u as u32);
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| self.kind == GraphKind::Directed || u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Average node degree, i.e. the *neighbor density* `ρ(G)` of
+    /// Definition 6 in the paper.
+    pub fn neighbor_density(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.adjacency.iter().map(Vec::len).sum();
+        total as f64 / self.node_count() as f64
+    }
+
+    /// Breadth-first hop distances from `source` to every node.
+    ///
+    /// Unreachable nodes get `usize::MAX`.
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<usize> {
+        let n = self.node_count();
+        let mut dist = vec![usize::MAX; n];
+        if source.index() >= n {
+            return dist;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        dist[source.index()] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            for &v in self.neighbors(u) {
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance from `u` to `v`, or `None` if `v` is unreachable.
+    pub fn hop_distance(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let d = self.bfs_distances(u)[v.index()];
+        (d != usize::MAX).then_some(d)
+    }
+
+    /// Whether every node is reachable from every other node.
+    ///
+    /// For undirected graphs this is ordinary connectivity; for directed
+    /// graphs it is strong connectivity (checked by running a forward BFS
+    /// from node 0 and a BFS from node 0 in the transposed graph).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return true;
+        }
+        let start = NodeId::new(0);
+        let forward_ok = self
+            .bfs_distances(start)
+            .iter()
+            .all(|&d| d != usize::MAX);
+        if !forward_ok {
+            return false;
+        }
+        match self.kind {
+            GraphKind::Undirected => true,
+            GraphKind::Directed => {
+                let t = self.transposed();
+                t.bfs_distances(start).iter().all(|&d| d != usize::MAX)
+            }
+        }
+    }
+
+    /// Number of nodes unreachable from `source`.
+    pub fn unreachable_from(&self, source: NodeId) -> usize {
+        self.bfs_distances(source)
+            .iter()
+            .filter(|&&d| d == usize::MAX)
+            .count()
+    }
+
+    /// The transposed graph (edges reversed). For undirected graphs this is
+    /// a clone.
+    pub fn transposed(&self) -> Graph {
+        match self.kind {
+            GraphKind::Undirected => self.clone(),
+            GraphKind::Directed => {
+                let mut t = Graph::new(self.node_count(), GraphKind::Directed);
+                for (u, v) in self.edges() {
+                    t.add_edge(v, u).expect("transposing a valid graph");
+                }
+                t
+            }
+        }
+    }
+
+    /// The hop diameter of the graph: the maximum finite hop distance between
+    /// any ordered pair of nodes, or `None` if the graph is not (strongly)
+    /// connected.
+    ///
+    /// Applied to the sensitivity graph this is exactly the *interference
+    /// diameter* `ID(G_S)` of Definition 2, which lower-bounds the number of
+    /// scream slots `K` needed for the SCREAM primitive to implement a
+    /// network-wide OR.
+    pub fn diameter(&self) -> Option<usize> {
+        if !self.is_connected() {
+            return None;
+        }
+        let mut best = 0usize;
+        for u in self.nodes() {
+            let far = self
+                .bfs_distances(u)
+                .into_iter()
+                .filter(|&d| d != usize::MAX)
+                .max()
+                .unwrap_or(0);
+            best = best.max(far);
+        }
+        Some(best)
+    }
+
+    /// Interference diameter as defined in the paper: the hop diameter, with
+    /// disconnected graphs mapping to infinity (represented as `usize::MAX`).
+    pub fn interference_diameter(&self) -> usize {
+        self.diameter().unwrap_or(usize::MAX)
+    }
+
+    /// Returns `true` if `other` has every edge of `self` (i.e. `self` is a
+    /// subgraph of `other` over the same node set). Used to check the paper's
+    /// observation that the sensitivity graph is a super-graph of the
+    /// communication graph.
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        if self.node_count() != other.node_count() {
+            return false;
+        }
+        self.edges().all(|(u, v)| {
+            other.has_edge(u, v)
+                && (other.kind == GraphKind::Directed || other.has_edge(v, u))
+        })
+    }
+
+    /// Minimum hop distance between two *links* (Definition 3): the minimum
+    /// hop distance between any endpoint of `a` and any endpoint of `b`.
+    pub fn link_hop_distance(&self, a: (NodeId, NodeId), b: (NodeId, NodeId)) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &u in &[a.0, a.1] {
+            let dist = self.bfs_distances(u);
+            for &v in &[b.0, b.1] {
+                let d = dist[v.index()];
+                if d != usize::MAX {
+                    best = Some(best.map_or(d, |b| b.min(d)));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Builds a communication graph by connecting every pair of nodes within a
+/// fixed communication range (a *unit-disk* graph).
+///
+/// This is the geometric graph model used throughout Section IV-B of the
+/// paper (where the carrier-sense range is assumed equal to the communication
+/// range `r`, making the sensitivity graph coincide with the communication
+/// graph). For SINR-derived communication graphs with heterogeneous powers,
+/// see `scream-netsim`'s `RadioEnvironment::communication_graph`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitDiskGraphBuilder {
+    range_m: f64,
+}
+
+impl UnitDiskGraphBuilder {
+    /// Creates a builder with the given communication range in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not strictly positive and finite.
+    pub fn new(range_m: f64) -> Self {
+        assert!(
+            range_m.is_finite() && range_m > 0.0,
+            "communication range must be positive and finite, got {range_m}"
+        );
+        Self { range_m }
+    }
+
+    /// The configured range in meters.
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// Builds the undirected unit-disk graph over the deployment's nodes.
+    pub fn build(&self, deployment: &Deployment) -> Graph {
+        let n = deployment.len();
+        let mut g = Graph::new(n, GraphKind::Undirected);
+        let r2 = self.range_m * self.range_m;
+        for i in 0..n {
+            let pi = deployment.position(NodeId::new(i as u32));
+            for j in (i + 1)..n {
+                let pj = deployment.position(NodeId::new(j as u32));
+                if pi.distance_squared(pj) <= r2 {
+                    g.add_edge(NodeId::new(i as u32), NodeId::new(j as u32))
+                        .expect("indices are in range by construction");
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::GridDeployment;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n, GraphKind::Undirected);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(NodeId::new(i as u32), NodeId::new(i as u32 + 1))
+                .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_is_connected_with_zero_diameter() {
+        let g = Graph::new(0, GraphKind::Undirected);
+        assert!(g.is_connected());
+        assert!(g.is_empty());
+        assert_eq!(g.neighbor_density(), 0.0);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::new(1, GraphKind::Undirected);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(0));
+        assert_eq!(g.interference_diameter(), 0);
+    }
+
+    #[test]
+    fn add_edge_rejects_unknown_nodes() {
+        let mut g = Graph::new(3, GraphKind::Undirected);
+        let err = g.add_edge(NodeId::new(0), NodeId::new(5)).unwrap_err();
+        assert!(matches!(err, TopologyError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_are_ignored() {
+        let mut g = Graph::new(3, GraphKind::Undirected);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        g.add_edge(NodeId::new(1), NodeId::new(0)).unwrap();
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        g.add_edge(NodeId::new(2), NodeId::new(2)).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(2)), 0);
+    }
+
+    #[test]
+    fn undirected_edges_are_symmetric() {
+        let mut g = Graph::new(2, GraphKind::Undirected);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn directed_edges_are_one_way() {
+        let mut g = Graph::new(2, GraphKind::Directed);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.has_edge(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn path_graph_distances_and_diameter() {
+        let g = path_graph(5);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(g.hop_distance(NodeId::new(0), NodeId::new(4)), Some(4));
+        assert_eq!(g.hop_distance(NodeId::new(2), NodeId::new(2)), Some(0));
+    }
+
+    #[test]
+    fn disconnected_graph_has_infinite_interference_diameter() {
+        let mut g = path_graph(4);
+        // Add an isolated node.
+        g = {
+            let mut h = Graph::new(5, GraphKind::Undirected);
+            for (u, v) in g.edges() {
+                h.add_edge(u, v).unwrap();
+            }
+            h
+        };
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+        assert_eq!(g.interference_diameter(), usize::MAX);
+        assert_eq!(g.unreachable_from(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn directed_cycle_is_strongly_connected_but_chain_is_not() {
+        let mut cycle = Graph::new(3, GraphKind::Directed);
+        cycle.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        cycle.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        cycle.add_edge(NodeId::new(2), NodeId::new(0)).unwrap();
+        assert!(cycle.is_connected());
+        assert_eq!(cycle.diameter(), Some(2));
+
+        let mut chain = Graph::new(3, GraphKind::Directed);
+        chain.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        chain.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        assert!(!chain.is_connected());
+    }
+
+    #[test]
+    fn neighbor_density_counts_average_degree() {
+        let g = path_graph(4); // degrees 1,2,2,1 -> average 1.5
+        assert!((g.neighbor_density() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_undirected_edge_once() {
+        let g = path_graph(4);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn transposed_directed_graph_reverses_edges() {
+        let mut g = Graph::new(2, GraphKind::Directed);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let t = g.transposed();
+        assert!(t.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert!(!t.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn subgraph_relation_holds_for_supersets() {
+        let small = path_graph(4);
+        let mut big = path_graph(4);
+        big.add_edge(NodeId::new(0), NodeId::new(2)).unwrap();
+        assert!(small.is_subgraph_of(&big));
+        assert!(!big.is_subgraph_of(&small));
+        assert!(small.is_subgraph_of(&small));
+    }
+
+    #[test]
+    fn link_hop_distance_uses_closest_endpoints() {
+        let g = path_graph(6);
+        let a = (NodeId::new(0), NodeId::new(1));
+        let b = (NodeId::new(4), NodeId::new(5));
+        assert_eq!(g.link_hop_distance(a, b), Some(3));
+        assert_eq!(g.link_hop_distance(a, a), Some(0));
+    }
+
+    #[test]
+    fn unit_disk_graph_on_grid_connects_lattice_neighbors_only() {
+        let d = GridDeployment::new(4, 4, 100.0).build();
+        let g = UnitDiskGraphBuilder::new(100.0).build(&d);
+        assert!(g.is_connected());
+        // Interior nodes have 4 neighbors, corners 2, edges 3.
+        let degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+        assert_eq!(*degrees.iter().max().unwrap(), 4);
+        assert_eq!(*degrees.iter().min().unwrap(), 2);
+        // Diagonal neighbors (distance ~141m) must not be connected.
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(5)));
+    }
+
+    #[test]
+    fn unit_disk_grid_diameter_is_manhattan_diameter() {
+        let d = GridDeployment::new(4, 4, 100.0).build();
+        let g = UnitDiskGraphBuilder::new(100.0).build(&d);
+        // Manhattan distance corner to corner of a 4x4 grid: 3 + 3 = 6 hops.
+        assert_eq!(g.diameter(), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn unit_disk_builder_rejects_nonpositive_range() {
+        let _ = UnitDiskGraphBuilder::new(0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Node deployments, communication/sensitivity graphs, routing forests and
+//! traffic demands for wireless mesh scheduling.
+//!
+//! This crate provides the *network-model* layer of the SCREAM reproduction
+//! (Section II of the paper): where the mesh routers are placed, which links
+//! exist in the absence of interference, how traffic demands are aggregated
+//! along a routing forest towards the gateways, and the graph-theoretic
+//! quantities (interference diameter, neighbor density) used by the analysis
+//! in Section IV-B.
+//!
+//! # Quick example
+//!
+//! ```
+//! use scream_topology::prelude::*;
+//!
+//! // 64 routers in an 8x8 planned grid, 4 gateways at the corners.
+//! let deployment = GridDeployment::new(8, 8, 250.0).build();
+//! let graph = UnitDiskGraphBuilder::new(260.0).build(&deployment);
+//! assert!(graph.is_connected());
+//!
+//! let gateways = deployment.corner_nodes();
+//! let forest = RoutingForest::shortest_path(&graph, &gateways, 42).unwrap();
+//! assert_eq!(forest.tree_edges().count(), deployment.len() - gateways.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod demand;
+pub mod deploy;
+pub mod error;
+pub mod geometry;
+pub mod graph;
+pub mod node;
+pub mod routing;
+
+pub use demand::{DemandConfig, DemandVector, LinkDemands};
+pub use deploy::{
+    density_to_area_m2, Deployment, DeploymentKind, GridDeployment, InfiniteDensityDeployment,
+    UniformDeployment,
+};
+pub use error::TopologyError;
+pub use geometry::{Point2, Rect};
+pub use graph::{Graph, GraphKind, UnitDiskGraphBuilder};
+pub use node::{NodeId, NodeInfo};
+pub use routing::{Link, RoutingForest};
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::demand::{DemandConfig, DemandVector, LinkDemands};
+    pub use crate::deploy::{
+        density_to_area_m2, Deployment, DeploymentKind, GridDeployment,
+        InfiniteDensityDeployment, UniformDeployment,
+    };
+    pub use crate::error::TopologyError;
+    pub use crate::geometry::{Point2, Rect};
+    pub use crate::graph::{Graph, GraphKind, UnitDiskGraphBuilder};
+    pub use crate::node::{NodeId, NodeInfo};
+    pub use crate::routing::{Link, RoutingForest};
+}

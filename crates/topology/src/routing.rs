@@ -1,0 +1,420 @@
+//! Routing forests towards the gateways and the node↔edge association used
+//! by the distributed schedulers.
+//!
+//! Traffic in the mesh is routed along reverse trees rooted at the gateways
+//! (Section II): each non-gateway node joins the tree of the gateway at
+//! minimum hop distance, breaking ties randomly. The edge connecting a node
+//! to its parent is "owned" by the deeper node (the child), which is the node
+//! in charge of allocating slots for it; this gives the one-to-one mapping
+//! between non-root nodes and edges that the PDD/FDD protocols rely on.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::TopologyError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// A directed link `head -> tail` along which data packets flow (the ACK
+/// flows `tail -> head` in the second sub-slot).
+///
+/// In a routing forest the head is the child (deeper) node and the tail is
+/// its parent; the head owns the link for scheduling purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Link {
+    /// Transmitting endpoint (the child in the routing tree).
+    pub head: NodeId,
+    /// Receiving endpoint (the parent in the routing tree).
+    pub tail: NodeId,
+}
+
+impl Link {
+    /// Creates a link from head (transmitter) to tail (receiver).
+    pub const fn new(head: NodeId, tail: NodeId) -> Self {
+        Self { head, tail }
+    }
+
+    /// Returns `true` if `node` is one of the two endpoints.
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.head == node || self.tail == node
+    }
+
+    /// Returns `true` if the two links share an endpoint. Links sharing an
+    /// endpoint can never be scheduled in the same slot (a half-duplex radio
+    /// cannot transmit and receive simultaneously).
+    pub fn shares_endpoint(&self, other: &Link) -> bool {
+        self.touches(other.head) || self.touches(other.tail)
+    }
+
+    /// The reverse link (ACK direction).
+    pub fn reversed(&self) -> Link {
+        Link::new(self.tail, self.head)
+    }
+}
+
+impl std::fmt::Display for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}->{}", self.head, self.tail)
+    }
+}
+
+/// A forest of reverse trees rooted at the gateway nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingForest {
+    /// `parent[v]` is the parent of `v` on its route to a gateway, or `None`
+    /// for gateways themselves.
+    parent: Vec<Option<NodeId>>,
+    /// `depth[v]` is the hop distance from `v` to its gateway (0 for
+    /// gateways).
+    depth: Vec<usize>,
+    /// `root[v]` is the gateway that `v`'s tree is rooted at.
+    root: Vec<NodeId>,
+    gateways: Vec<NodeId>,
+}
+
+impl RoutingForest {
+    /// Builds a shortest-path routing forest over `graph` rooted at
+    /// `gateways`, breaking ties with a deterministic RNG seeded by `seed`
+    /// (the paper breaks ties randomly).
+    ///
+    /// # Errors
+    ///
+    /// * [`TopologyError::NoGateways`] if `gateways` is empty;
+    /// * [`TopologyError::DuplicateGateway`] for repeated gateway ids;
+    /// * [`TopologyError::UnknownNode`] for out-of-range gateway ids;
+    /// * [`TopologyError::Disconnected`] if some node cannot reach any
+    ///   gateway.
+    pub fn shortest_path(
+        graph: &Graph,
+        gateways: &[NodeId],
+        seed: u64,
+    ) -> Result<Self, TopologyError> {
+        let n = graph.node_count();
+        if gateways.is_empty() {
+            return Err(TopologyError::NoGateways);
+        }
+        let mut is_gateway = vec![false; n];
+        for &g in gateways {
+            if g.index() >= n {
+                return Err(TopologyError::UnknownNode {
+                    id: g,
+                    node_count: n,
+                });
+            }
+            if is_gateway[g.index()] {
+                return Err(TopologyError::DuplicateGateway(g));
+            }
+            is_gateway[g.index()] = true;
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut depth = vec![usize::MAX; n];
+        let mut root = vec![NodeId::new(0); n];
+
+        // Multi-source BFS from all gateways. To honor the random
+        // tie-breaking rule, candidate parents at equal depth are collected
+        // per node and one is chosen uniformly at random.
+        let mut frontier: Vec<NodeId> = Vec::new();
+        for &g in gateways {
+            depth[g.index()] = 0;
+            root[g.index()] = g;
+            frontier.push(g);
+        }
+        let mut level = 0usize;
+        while !frontier.is_empty() {
+            level += 1;
+            // Collect candidate parents for each node at the next level.
+            let mut candidates: std::collections::HashMap<NodeId, Vec<NodeId>> =
+                std::collections::HashMap::new();
+            for &u in &frontier {
+                for &v in graph.neighbors(u) {
+                    if depth[v.index()] == usize::MAX {
+                        candidates.entry(v).or_default().push(u);
+                    }
+                }
+            }
+            let mut next_frontier: Vec<NodeId> = candidates.keys().copied().collect();
+            // Deterministic iteration order for reproducibility.
+            next_frontier.sort_unstable();
+            for &v in &next_frontier {
+                let parents = &candidates[&v];
+                let &chosen = parents
+                    .choose(&mut rng)
+                    .expect("candidate list is non-empty by construction");
+                parent[v.index()] = Some(chosen);
+                depth[v.index()] = level;
+                root[v.index()] = root[chosen.index()];
+            }
+            frontier = next_frontier;
+        }
+
+        let unreachable = depth.iter().filter(|&&d| d == usize::MAX).count();
+        if unreachable > 0 {
+            return Err(TopologyError::Disconnected { unreachable });
+        }
+
+        Ok(Self {
+            parent,
+            depth,
+            root,
+            gateways: gateways.to_vec(),
+        })
+    }
+
+    /// Number of nodes covered by the forest.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The gateway nodes (tree roots).
+    pub fn gateways(&self) -> &[NodeId] {
+        &self.gateways
+    }
+
+    /// Returns `true` if `node` is a gateway.
+    pub fn is_gateway(&self, node: NodeId) -> bool {
+        self.parent[node.index()].is_none()
+    }
+
+    /// Parent of `node` in its routing tree, or `None` for gateways.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.index()]
+    }
+
+    /// Hop distance from `node` to its gateway.
+    pub fn depth(&self, node: NodeId) -> usize {
+        self.depth[node.index()]
+    }
+
+    /// The gateway that `node` routes to.
+    pub fn root_of(&self, node: NodeId) -> NodeId {
+        self.root[node.index()]
+    }
+
+    /// The tree edge owned by `node` (the link from `node` to its parent),
+    /// or `None` for gateways.
+    pub fn link_of(&self, node: NodeId) -> Option<Link> {
+        self.parent(node).map(|p| Link::new(node, p))
+    }
+
+    /// The node that owns `link` under the node↔edge mapping, if `link` is a
+    /// tree edge of this forest.
+    pub fn owner_of(&self, link: Link) -> Option<NodeId> {
+        (self.parent(link.head) == Some(link.tail)).then_some(link.head)
+    }
+
+    /// Iterator over all tree edges (one per non-gateway node), ordered by
+    /// owner id.
+    pub fn tree_edges(&self) -> impl Iterator<Item = Link> + '_ {
+        (0..self.node_count() as u32)
+            .map(NodeId::new)
+            .filter_map(move |v| self.link_of(v))
+    }
+
+    /// The route from `node` to its gateway, starting with `node`'s own link.
+    pub fn route_to_gateway(&self, node: NodeId) -> Vec<Link> {
+        let mut route = Vec::new();
+        let mut current = node;
+        while let Some(p) = self.parent(current) {
+            route.push(Link::new(current, p));
+            current = p;
+        }
+        route
+    }
+
+    /// Children of `node` in its routing tree.
+    pub fn children(&self, node: NodeId) -> Vec<NodeId> {
+        (0..self.node_count() as u32)
+            .map(NodeId::new)
+            .filter(|&v| self.parent(v) == Some(node))
+            .collect()
+    }
+
+    /// All nodes in the subtree rooted at `node` (including `node` itself).
+    pub fn subtree(&self, node: NodeId) -> Vec<NodeId> {
+        let mut result = vec![node];
+        let mut stack = vec![node];
+        while let Some(u) = stack.pop() {
+            for c in self.children(u) {
+                result.push(c);
+                stack.push(c);
+            }
+        }
+        result
+    }
+
+    /// Maximum depth over all nodes (the height of the tallest tree).
+    pub fn max_depth(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::GridDeployment;
+    use crate::graph::{GraphKind, UnitDiskGraphBuilder};
+
+    fn grid_forest(side: usize) -> (Graph, RoutingForest) {
+        let d = GridDeployment::new(side, side, 100.0).build();
+        let g = UnitDiskGraphBuilder::new(100.0).build(&d);
+        let gateways = vec![NodeId::new(0)];
+        let f = RoutingForest::shortest_path(&g, &gateways, 1).unwrap();
+        (g, f)
+    }
+
+    #[test]
+    fn link_endpoint_relations() {
+        let a = Link::new(NodeId::new(1), NodeId::new(2));
+        let b = Link::new(NodeId::new(2), NodeId::new(3));
+        let c = Link::new(NodeId::new(4), NodeId::new(5));
+        assert!(a.touches(NodeId::new(1)));
+        assert!(!a.touches(NodeId::new(3)));
+        assert!(a.shares_endpoint(&b));
+        assert!(!a.shares_endpoint(&c));
+        assert_eq!(a.reversed(), Link::new(NodeId::new(2), NodeId::new(1)));
+    }
+
+    #[test]
+    fn forest_depth_matches_bfs_distance_to_nearest_gateway() {
+        let (g, f) = grid_forest(4);
+        let dist = g.bfs_distances(NodeId::new(0));
+        for v in g.nodes() {
+            assert_eq!(f.depth(v), dist[v.index()]);
+        }
+    }
+
+    #[test]
+    fn forest_has_one_edge_per_non_gateway_node() {
+        let (_, f) = grid_forest(4);
+        assert_eq!(f.tree_edges().count(), 15);
+        assert!(f.is_gateway(NodeId::new(0)));
+        assert_eq!(f.parent(NodeId::new(0)), None);
+        assert_eq!(f.link_of(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn parent_is_always_one_hop_closer_to_gateway() {
+        let (_, f) = grid_forest(5);
+        for v in (0..25).map(|i| NodeId::new(i)) {
+            if let Some(p) = f.parent(v) {
+                assert_eq!(f.depth(p) + 1, f.depth(v));
+            }
+        }
+    }
+
+    #[test]
+    fn routes_terminate_at_the_assigned_gateway() {
+        let (_, f) = grid_forest(5);
+        for v in (0..25).map(NodeId::new) {
+            let route = f.route_to_gateway(v);
+            assert_eq!(route.len(), f.depth(v));
+            if let Some(last) = route.last() {
+                assert_eq!(last.tail, f.root_of(v));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_gateway_forest_assigns_nearest_gateway() {
+        let d = GridDeployment::new(8, 8, 100.0).build();
+        let g = UnitDiskGraphBuilder::new(100.0).build(&d);
+        let gateways = d.corner_nodes();
+        let f = RoutingForest::shortest_path(&g, &gateways, 3).unwrap();
+        assert_eq!(f.gateways(), &gateways[..]);
+        // Node 9 (row 1, col 1) is closest to gateway 0.
+        assert_eq!(f.root_of(NodeId::new(9)), NodeId::new(0));
+        // Node 54 (row 6, col 6) is closest to gateway 63.
+        assert_eq!(f.root_of(NodeId::new(54)), NodeId::new(63));
+        // Depth of any node equals min distance over gateways.
+        for v in g.nodes() {
+            let min_d = gateways
+                .iter()
+                .map(|&gw| g.hop_distance(gw, v).unwrap())
+                .min()
+                .unwrap();
+            assert_eq!(f.depth(v), min_d);
+        }
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic_per_seed() {
+        let d = GridDeployment::new(6, 6, 100.0).build();
+        let g = UnitDiskGraphBuilder::new(100.0).build(&d);
+        let gws = d.corner_nodes();
+        let f1 = RoutingForest::shortest_path(&g, &gws, 42).unwrap();
+        let f2 = RoutingForest::shortest_path(&g, &gws, 42).unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn owner_of_maps_tree_edges_back_to_their_head() {
+        let (_, f) = grid_forest(4);
+        for link in f.tree_edges() {
+            assert_eq!(f.owner_of(link), Some(link.head));
+            assert_eq!(f.owner_of(link.reversed()), None);
+        }
+    }
+
+    #[test]
+    fn subtree_contains_all_descendants() {
+        let (_, f) = grid_forest(3);
+        let all = f.subtree(NodeId::new(0));
+        assert_eq!(all.len(), 9, "gateway subtree covers the whole tree");
+        for v in (1..9).map(NodeId::new) {
+            let sub = f.subtree(v);
+            assert!(sub.contains(&v));
+            // Every member of the subtree routes through v.
+            for &m in &sub {
+                assert!(
+                    f.route_to_gateway(m).iter().any(|l| l.head == v) || m == v,
+                    "node {m} in subtree of {v} should route through it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn children_and_subtree_are_consistent() {
+        let (_, f) = grid_forest(4);
+        let total_children: usize = (0..16).map(|i| f.children(NodeId::new(i)).len()).sum();
+        assert_eq!(total_children, 15, "every non-gateway node is someone's child");
+    }
+
+    #[test]
+    fn errors_on_no_or_bad_gateways() {
+        let (g, _) = grid_forest(3);
+        assert!(matches!(
+            RoutingForest::shortest_path(&g, &[], 0),
+            Err(TopologyError::NoGateways)
+        ));
+        assert!(matches!(
+            RoutingForest::shortest_path(&g, &[NodeId::new(0), NodeId::new(0)], 0),
+            Err(TopologyError::DuplicateGateway(_))
+        ));
+        assert!(matches!(
+            RoutingForest::shortest_path(&g, &[NodeId::new(100)], 0),
+            Err(TopologyError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_on_disconnected_graph() {
+        let g = Graph::new(3, GraphKind::Undirected);
+        let err = RoutingForest::shortest_path(&g, &[NodeId::new(0)], 0).unwrap_err();
+        assert!(matches!(err, TopologyError::Disconnected { unreachable: 2 }));
+    }
+
+    #[test]
+    fn max_depth_of_line_topology() {
+        let mut g = Graph::new(5, GraphKind::Undirected);
+        for i in 0..4 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1)).unwrap();
+        }
+        let f = RoutingForest::shortest_path(&g, &[NodeId::new(0)], 0).unwrap();
+        assert_eq!(f.max_depth(), 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! The planned-grid scenario of the paper's Figure 6: a 64-node mesh backbone
+//! laid out on a grid with homogeneous transmit power and 4 gateways, with
+//! node density varied by shrinking the deployment area.
+//!
+//! For each density the example runs the centralized GreedyPhysical baseline,
+//! the distributed FDD protocol and PDD with the three activation
+//! probabilities the paper evaluates, and prints the percentage improvement
+//! of each schedule over the serialized (one-link-per-slot) schedule.
+//!
+//! Run with: `cargo run --release --example grid_mesh`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use scream::prelude::*;
+use scream::protocols::ProtocolKind;
+use scream::topology::density_to_area_m2;
+
+/// Builds the 64-node planned scenario at a given density and returns the
+/// radio environment together with the aggregated link demands.
+fn build_instance(density_per_km2: f64, seed: u64) -> (RadioEnvironment, LinkDemands) {
+    let nodes = 64;
+    let area_m2 = density_to_area_m2(nodes, density_per_km2);
+    let step = (area_m2 / nodes as f64).sqrt();
+    let deployment = GridDeployment::new(8, 8, step).tx_power_dbm(10.0).build();
+    let env = RadioEnvironment::builder()
+        .propagation(PropagationModel::log_distance(3.0))
+        .shadowing(4.0, seed)
+        .config(RadioConfig::mesh_default().with_sinr_threshold_db(6.0))
+        .build(&deployment);
+
+    let graph = env.communication_graph();
+    assert!(graph.is_connected(), "the grid must form a connected mesh");
+    let gateways = deployment.corner_nodes();
+    let forest = RoutingForest::shortest_path(&graph, &gateways, seed).expect("connected");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let demands = DemandVector::generate(nodes, DemandConfig::PAPER, &gateways, &mut rng);
+    let link_demands = LinkDemands::aggregate(&forest, &demands).expect("sizes match");
+    (env, link_demands)
+}
+
+fn improvement(schedule: &scream::scheduling::Schedule, demands: &LinkDemands) -> f64 {
+    ScheduleMetrics::compute(schedule, demands).improvement_over_linear_pct
+}
+
+fn main() {
+    println!("64-node planned grid, 4 gateways, demand U[1,10], log-distance alpha=3 + 4 dB shadowing");
+    println!(
+        "{:>10}  {:>12}  {:>8}  {:>10}  {:>10}  {:>10}",
+        "density", "Centralized", "FDD", "PDD p=0.2", "PDD p=0.6", "PDD p=0.8"
+    );
+    for density in [1_000.0, 5_000.0, 10_000.0, 25_000.0] {
+        let (env, link_demands) = build_instance(density, 7);
+        let config = ProtocolConfig::paper_default()
+            .with_scream_slots(env.interference_diameter().max(5))
+            .with_seed(7);
+
+        let centralized = GreedyPhysical::paper_baseline().schedule(&env, &link_demands);
+        verify_schedule(&env, &centralized, &link_demands).expect("centralized schedule valid");
+        let fdd = DistributedScheduler::fdd()
+            .with_config(config)
+            .run(&env, &link_demands)
+            .expect("FDD completes");
+        verify_schedule(&env, &fdd.schedule, &link_demands).expect("FDD schedule valid");
+
+        let mut pdd_improvements = Vec::new();
+        for p in [0.2, 0.6, 0.8] {
+            let run = DistributedScheduler::new(ProtocolKind::pdd(p), config)
+                .run(&env, &link_demands)
+                .expect("PDD completes");
+            verify_schedule(&env, &run.schedule, &link_demands).expect("PDD schedule valid");
+            pdd_improvements.push(improvement(&run.schedule, &link_demands));
+        }
+
+        println!(
+            "{:>10.0}  {:>12.1}  {:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}",
+            density,
+            improvement(&centralized, &link_demands),
+            improvement(&fdd.schedule, &link_demands),
+            pdd_improvements[0],
+            pdd_improvements[1],
+            pdd_improvements[2],
+        );
+    }
+    println!();
+    println!("FDD always matches the centralized GreedyPhysical schedule (Theorem 4);");
+    println!("PDD trails it, with the low activation probability closest — the Figure 6 ordering.");
+}

@@ -1,0 +1,209 @@
+//! Property-based tests (proptest) over the workspace's core invariants:
+//! geometry, graphs, routing, demand aggregation, SINR monotonicity,
+//! scheduling feasibility and the FDD/GreedyPhysical equivalence.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use scream::prelude::*;
+use scream::scheduling::EdgeOrdering;
+
+/// Strategy: a connected-ish random deployment description (node count,
+/// region side and seed). Connectivity is ensured by retry inside the tests.
+fn small_instance() -> impl Strategy<Value = (usize, u64)> {
+    (6usize..=20, 0u64..5000)
+}
+
+fn build_connected(nodes: usize, seed: u64) -> Option<(RadioEnvironment, LinkDemands)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Area scaled so the density stays in a regime where connectivity is
+    // plausible with 20 dBm radios (~215 m range).
+    let side = 120.0 * (nodes as f64).sqrt();
+    let deployment = UniformDeployment::new(nodes, side)
+        .build_connected(&mut rng, 200.0, 50)
+        .ok()?;
+    let env = RadioEnvironment::builder()
+        .propagation(PropagationModel::log_distance(3.0))
+        .build(&deployment);
+    let graph = env.communication_graph();
+    if !graph.is_connected() {
+        return None;
+    }
+    let gateways = vec![deployment.corner_nodes()[0]];
+    let forest = RoutingForest::shortest_path(&graph, &gateways, seed).ok()?;
+    let demands = DemandVector::generate(nodes, DemandConfig::PAPER, &gateways, &mut rng);
+    let link_demands = LinkDemands::aggregate(&forest, &demands).ok()?;
+    Some((env, link_demands))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The centralized greedy schedule always satisfies every demand with
+    /// feasible slots and never exceeds the serialized length.
+    #[test]
+    fn greedy_physical_schedules_are_always_valid((nodes, seed) in small_instance()) {
+        if let Some((env, link_demands)) = build_connected(nodes, seed) {
+            let schedule = GreedyPhysical::paper_baseline().schedule(&env, &link_demands);
+            prop_assert!(verify_schedule(&env, &schedule, &link_demands).is_ok());
+            prop_assert!(schedule.length() as u64 <= link_demands.total_demand());
+        }
+    }
+
+    /// FDD equals GreedyPhysical (Theorem 4) on arbitrary connected instances.
+    #[test]
+    fn fdd_matches_greedy_physical((nodes, seed) in small_instance()) {
+        if let Some((env, link_demands)) = build_connected(nodes, seed) {
+            let centralized = GreedyPhysical::new(EdgeOrdering::DecreasingHeadId)
+                .schedule(&env, &link_demands);
+            let config = ProtocolConfig::paper_default()
+                .with_scream_slots(env.interference_diameter().max(1))
+                .with_seed(seed);
+            let run = DistributedScheduler::fdd()
+                .with_config(config)
+                .run(&env, &link_demands)
+                .expect("FDD completes on connected instances");
+            prop_assert_eq!(run.schedule, centralized);
+        }
+    }
+
+    /// PDD schedules are always valid and never beat FDD's slot count by more
+    /// than the randomness can explain (they can never be shorter than the
+    /// maximum per-link demand).
+    #[test]
+    fn pdd_schedules_are_always_valid(
+        (nodes, seed) in small_instance(),
+        p in 0.1f64..=1.0,
+    ) {
+        if let Some((env, link_demands)) = build_connected(nodes, seed) {
+            let config = ProtocolConfig::paper_default()
+                .with_scream_slots(env.interference_diameter().max(1))
+                .with_seed(seed);
+            let run = DistributedScheduler::pdd(p)
+                .with_config(config)
+                .run(&env, &link_demands)
+                .expect("PDD completes on connected instances");
+            prop_assert!(verify_schedule(&env, &run.schedule, &link_demands).is_ok());
+            let max_demand = link_demands
+                .demanded_links()
+                .map(|(_, d)| d)
+                .max()
+                .unwrap_or(0);
+            prop_assert!(run.schedule.length() as u64 >= max_demand);
+            prop_assert!(run.schedule.length() as u64 <= link_demands.total_demand());
+        }
+    }
+
+    /// Adding an interferer can only lower the SINR, and removing all
+    /// interference recovers the plain SNR.
+    #[test]
+    fn sinr_is_monotone_in_the_interferer_set(
+        positions in prop::collection::vec((0.0f64..2000.0, 0.0f64..2000.0), 3..12),
+    ) {
+        let points: Vec<Point2> = positions.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        // Distinct positions only (duplicates make gain = reference gain, fine,
+        // but keep the instance meaningful).
+        let deployment = Deployment::from_positions(&points, 20.0, Rect::square(2000.0)).unwrap();
+        let env = RadioEnvironment::builder().build(&deployment);
+        let tx = NodeId::new(0);
+        let rx = NodeId::new(1);
+        let all: Vec<NodeId> = (2..points.len() as u32).map(NodeId::new).collect();
+        let mut previous = env.sinr_linear(tx, rx, &[]);
+        prop_assert!((previous - env.received_power_mw(tx, rx) / env.config().noise_floor_mw()).abs()
+            <= previous * 1e-9);
+        for k in 0..=all.len() {
+            let current = env.sinr_linear(tx, rx, &all[..k]);
+            prop_assert!(current <= previous + previous * 1e-12);
+            previous = current;
+        }
+    }
+
+    /// Demand aggregation conserves flow: the demand entering the gateways
+    /// equals the total generated demand, and every edge carries exactly its
+    /// subtree's demand.
+    #[test]
+    fn demand_aggregation_conserves_flow((nodes, seed) in small_instance()) {
+        if let Some((_env, _)) = build_connected(nodes, seed) {
+            // Rebuild explicitly to access forest internals.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let side = 120.0 * (nodes as f64).sqrt();
+            if let Ok(deployment) = UniformDeployment::new(nodes, side)
+                .build_connected(&mut rng, 200.0, 50) {
+                let graph = UnitDiskGraphBuilder::new(200.0).build(&deployment);
+                let gateways = vec![deployment.corner_nodes()[0]];
+                let forest = RoutingForest::shortest_path(&graph, &gateways, seed).unwrap();
+                let demands = DemandVector::generate(nodes, DemandConfig::PAPER, &gateways, &mut rng);
+                let agg = LinkDemands::aggregate(&forest, &demands).unwrap();
+                let inflow: u64 = agg
+                    .demanded_links()
+                    .filter(|(l, _)| gateways.contains(&l.tail))
+                    .map(|(_, d)| d)
+                    .sum();
+                prop_assert_eq!(inflow, demands.total());
+                for v in (0..nodes as u32).map(NodeId::new) {
+                    if forest.is_gateway(v) { continue; }
+                    let children_sum: u64 = forest
+                        .children(v)
+                        .iter()
+                        .map(|&c| agg.demand_of(c))
+                        .sum();
+                    prop_assert_eq!(agg.demand_of(v), demands.demand(v) as u64 + children_sum);
+                }
+            }
+        }
+    }
+
+    /// Routing forests always route towards a gateway with strictly
+    /// decreasing depth, and every non-gateway node owns exactly one link.
+    #[test]
+    fn routing_forest_invariants((nodes, seed) in small_instance()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let side = 120.0 * (nodes as f64).sqrt();
+        if let Ok(deployment) = UniformDeployment::new(nodes, side)
+            .build_connected(&mut rng, 200.0, 50)
+        {
+            let graph = UnitDiskGraphBuilder::new(200.0).build(&deployment);
+            let gateways = vec![deployment.corner_nodes()[0]];
+            let forest = RoutingForest::shortest_path(&graph, &gateways, seed).unwrap();
+            let dist = graph.bfs_distances(gateways[0]);
+            let mut owned_links = 0;
+            for v in (0..nodes as u32).map(NodeId::new) {
+                prop_assert_eq!(forest.depth(v), dist[v.index()]);
+                match forest.parent(v) {
+                    None => prop_assert!(forest.is_gateway(v)),
+                    Some(p) => {
+                        prop_assert!(graph.has_edge(v, p));
+                        prop_assert_eq!(forest.depth(p) + 1, forest.depth(v));
+                        owned_links += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(owned_links, nodes - gateways.len());
+        }
+    }
+
+    /// The serialized baseline always has zero improvement and any valid
+    /// schedule's improvement is in [0, 100).
+    #[test]
+    fn improvement_metric_is_bounded((nodes, seed) in small_instance()) {
+        if let Some((env, link_demands)) = build_connected(nodes, seed) {
+            let serialized = serialized_schedule(&link_demands);
+            let m0 = ScheduleMetrics::compute(&serialized, &link_demands);
+            prop_assert!(m0.improvement_over_linear_pct.abs() < 1e-9);
+            let greedy = GreedyPhysical::paper_baseline().schedule(&env, &link_demands);
+            let m1 = ScheduleMetrics::compute(&greedy, &link_demands);
+            prop_assert!(m1.improvement_over_linear_pct >= 0.0);
+            prop_assert!(m1.improvement_over_linear_pct < 100.0);
+        }
+    }
+
+    /// SimTime arithmetic respects unit conversions for arbitrary values.
+    #[test]
+    fn simtime_roundtrips(us in 0u64..10_000_000) {
+        let t = SimTime::from_micros(us);
+        prop_assert_eq!(t.as_micros(), us);
+        prop_assert!((t.as_secs_f64() - us as f64 / 1e6).abs() < 1e-9);
+        prop_assert_eq!(SimTime::from_nanos(t.as_nanos()), t);
+    }
+}
