@@ -117,8 +117,8 @@ impl DiameterObservation {
     /// a fixed region filled with a lattice much finer than the communication
     /// range.
     pub fn infinite_density(region_side_m: f64, lattice_step_m: f64, range_m: f64) -> Self {
-        let deployment = scream_topology::InfiniteDensityDeployment::new(region_side_m, lattice_step_m)
-            .build();
+        let deployment =
+            scream_topology::InfiniteDensityDeployment::new(region_side_m, lattice_step_m).build();
         let graph = UnitDiskGraphBuilder::new(range_m).build(&deployment);
         let diam = deployment.region().diameter();
         Self::from_measurement(
@@ -268,8 +268,9 @@ mod tests {
         let grid = DiameterObservation::square_grid(16, 100.0); // rho ~ 4
         let uniform = DiameterObservation::random_uniform(256, 7); // rho ~ log n
         let dense = DiameterObservation::infinite_density(400.0, 40.0, 200.0); // rho >> log n
-        // Normalized by sqrt(n), the diameter shrinks as density grows.
-        let norm = |o: &DiameterObservation| o.interference_diameter as f64 / (o.node_count as f64).sqrt();
+                                                                               // Normalized by sqrt(n), the diameter shrinks as density grows.
+        let norm =
+            |o: &DiameterObservation| o.interference_diameter as f64 / (o.node_count as f64).sqrt();
         assert!(norm(&grid) > norm(&uniform));
         assert!(norm(&uniform) > norm(&dense));
     }

@@ -9,15 +9,17 @@ use scream_netsim::{ClockSkewConfig, SimTime};
 fn bench_clock_skew(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_clock_skew");
     group.sample_size(10);
-    let instance = PaperScenario::grid(5_000.0).with_node_count(25).instantiate(4);
+    let instance = PaperScenario::grid(5_000.0)
+        .with_node_count(25)
+        .instantiate(4);
     for skew_us in [1u64, 100, 10_000] {
         group.bench_with_input(
             BenchmarkId::new("fdd_skew_us", skew_us),
             &skew_us,
             |b, &us| {
                 b.iter(|| {
-                    let config = instance
-                        .config_with_skew(ClockSkewConfig::new(SimTime::from_micros(us)));
+                    let config =
+                        instance.config_with_skew(ClockSkewConfig::new(SimTime::from_micros(us)));
                     instance.run_protocol_with(ProtocolKind::Fdd, config)
                 })
             },

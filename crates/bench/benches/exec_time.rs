@@ -8,7 +8,9 @@ use scream_core::ProtocolKind;
 fn bench_exec_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_exec_time");
     group.sample_size(10);
-    let instance = PaperScenario::grid(5_000.0).with_node_count(25).instantiate(3);
+    let instance = PaperScenario::grid(5_000.0)
+        .with_node_count(25)
+        .instantiate(3);
     for scream_bytes in [15usize, 60] {
         group.bench_with_input(
             BenchmarkId::new("fdd_scream_bytes", scream_bytes),

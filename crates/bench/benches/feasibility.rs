@@ -1,0 +1,91 @@
+//! Criterion bench for the interference ledger: from-scratch vs incremental
+//! slot-feasibility at slot sizes 4 / 16 / 64, plus the cost of building a
+//! whole slot each way.
+//!
+//! `from_scratch_can_add` clones the slot and recomputes every receiver's
+//! SINR (O(k²) per probe, the pre-ledger implementation, kept as
+//! `RadioEnvironment::can_add_to_slot`); `ledger_can_add` answers the same
+//! probe from the ledger's cached per-receiver interference sums (O(k)).
+//! The acceptance bar for the ledger refactor is ≥ 5× at k = 64.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scream_netsim::{PropagationModel, RadioConfig, RadioEnvironment, SlotLedger};
+use scream_topology::{GridDeployment, Link, NodeId};
+
+/// A 16×16 grid with 65+ pairwise endpoint-disjoint horizontal links:
+/// enough to fill a 64-link slot and still have a probe candidate left.
+///
+/// The SINR threshold is lowered to −10 dB so that even the 64-link slot is
+/// genuinely feasible: every probe then performs its full amount of work
+/// instead of early-exiting on the first failing handshake, which is the
+/// regime the k-scaling comparison is about. (Slot-feasibility *decisions*
+/// are identical between the two paths at any β — the property tests pin
+/// that down.)
+fn dense_instance() -> (RadioEnvironment, Vec<Link>) {
+    let side = 16u32;
+    let deployment = GridDeployment::new(side as usize, side as usize, 90.0).build();
+    let env = RadioEnvironment::builder()
+        .propagation(PropagationModel::log_distance(3.0))
+        .config(RadioConfig::mesh_default().with_sinr_threshold_db(-10.0))
+        .build(&deployment);
+    let mut links = Vec::new();
+    for row in 0..side {
+        for col in (0..side - 1).step_by(2) {
+            links.push(Link::new(
+                NodeId::new(row * side + col),
+                NodeId::new(row * side + col + 1),
+            ));
+        }
+    }
+    assert!(links.len() > 64, "need at least 65 disjoint links");
+    (env, links)
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let (env, links) = dense_instance();
+    let mut group = c.benchmark_group("slot_feasibility");
+
+    for k in [4usize, 16, 64] {
+        let slot = &links[..k];
+        let candidate = links[k];
+
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch_can_add", k),
+            &candidate,
+            |b, &candidate| b.iter(|| env.can_add_to_slot(slot, candidate)),
+        );
+        let ledger = SlotLedger::with_links(&env, slot);
+        group.bench_with_input(
+            BenchmarkId::new("ledger_can_add", k),
+            &candidate,
+            |b, &candidate| b.iter(|| ledger.can_add(candidate)),
+        );
+
+        // Whole-slot construction: k from-scratch feasibility checks of
+        // growing prefixes vs k incremental O(k) assignments.
+        group.bench_with_input(BenchmarkId::new("from_scratch_build", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut slot_links: Vec<Link> = Vec::with_capacity(k);
+                for &link in &links[..k] {
+                    assert!(env.can_add_to_slot(&slot_links, link));
+                    slot_links.push(link);
+                }
+                slot_links.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ledger_build", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut ledger = env.open_slot_ledger();
+                for &link in &links[..k] {
+                    assert!(ledger.can_add(link));
+                    ledger.assign(link);
+                }
+                ledger.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasibility);
+criterion_main!(benches);

@@ -8,17 +8,21 @@ fn bench_mote_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_mote_detection");
     group.sample_size(10);
     for bytes in [8usize, 24] {
-        group.bench_with_input(BenchmarkId::new("scream_bytes", bytes), &bytes, |b, &bytes| {
-            b.iter(|| {
-                MoteExperiment::new(
-                    MoteExperimentConfig::paper_default()
-                        .with_scream_bytes(bytes)
-                        .with_scream_count(100),
-                )
-                .run()
-                .error_percentage()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("scream_bytes", bytes),
+            &bytes,
+            |b, &bytes| {
+                b.iter(|| {
+                    MoteExperiment::new(
+                        MoteExperimentConfig::paper_default()
+                            .with_scream_bytes(bytes)
+                            .with_scream_count(100),
+                    )
+                    .run()
+                    .error_percentage()
+                })
+            },
+        );
     }
     group.finish();
 }

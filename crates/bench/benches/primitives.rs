@@ -41,7 +41,7 @@ fn bench_primitives(c: &mut Criterion) {
             |b, ch| {
                 b.iter(|| {
                     let mut timing = ProtocolTiming::new();
-                    LeaderElection::new().elect(ch, &vec![true; 64], &mut timing)
+                    LeaderElection::new().elect(ch, &[true; 64], &mut timing)
                 })
             },
         );

@@ -7,7 +7,9 @@ use scream_bench::{PaperScenario, Table};
 use scream_core::ProtocolKind;
 
 fn main() {
-    let instance = PaperScenario::grid(5_000.0).with_node_count(64).instantiate(17);
+    let instance = PaperScenario::grid(5_000.0)
+        .with_node_count(64)
+        .instantiate(17);
     let centralized = instance.metrics(&instance.run_centralized());
     let mut table = Table::new(
         format!(

@@ -8,7 +8,9 @@ use scream_bench::{PaperScenario, Table};
 use scream_core::ProtocolKind;
 
 fn main() {
-    let instance = PaperScenario::grid(5_000.0).with_node_count(36).instantiate(5);
+    let instance = PaperScenario::grid(5_000.0)
+        .with_node_count(36)
+        .instantiate(5);
     let id = instance.interference_diameter;
     let mut table = Table::new(
         format!("Ablation — K vs execution time (true ID = {id})"),

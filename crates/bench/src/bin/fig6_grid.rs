@@ -10,11 +10,18 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
-    let densities = [1_000.0, 2_500.0, 5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0];
-    eprintln!("# fig6: 64-node planned grid, 4 gateways, demand U[1,10], {runs} run(s) per density");
+    let densities = [
+        1_000.0, 2_500.0, 5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0,
+    ];
+    eprintln!(
+        "# fig6: 64-node planned grid, 4 gateways, demand U[1,10], {runs} run(s) per density"
+    );
     let rows = fig6_grid_improvement(&densities, 64, runs, 2024);
     println!(
         "{}",
-        improvement_table("Fig. 6 — Schedule Length Improvement for Grid (planned, homogeneous power)", &rows)
+        improvement_table(
+            "Fig. 6 — Schedule Length Improvement for Grid (planned, homogeneous power)",
+            &rows
+        )
     );
 }

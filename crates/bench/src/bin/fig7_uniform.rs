@@ -10,8 +10,12 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
-    let densities = [1_000.0, 2_500.0, 5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0];
-    eprintln!("# fig7: 64-node unplanned placement, heterogeneous power, {runs} run(s) per density");
+    let densities = [
+        1_000.0, 2_500.0, 5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0,
+    ];
+    eprintln!(
+        "# fig7: 64-node unplanned placement, heterogeneous power, {runs} run(s) per density"
+    );
     let rows = fig7_uniform_improvement(&densities, 64, runs, 4048);
     println!(
         "{}",

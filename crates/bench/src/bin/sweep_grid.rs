@@ -1,0 +1,57 @@
+//! Parallel density sweep of the 64-node paper grid scenario via
+//! [`ScenarioSweep`]: the verified centralized baseline per (density, seed)
+//! cell, across all cores, with deterministic grid-ordered output.
+//!
+//! Usage: `cargo run --release -p scream-bench --bin sweep_grid [seeds_per_density]`
+
+use std::time::Instant;
+
+use scream_bench::{PaperScenario, ScenarioSweep, Table};
+
+fn main() {
+    let seeds_per_density: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let densities = [1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0];
+    let seeds: Vec<u64> = (1..=seeds_per_density).collect();
+    let sweep = ScenarioSweep::new(PaperScenario::grid(1_000.0))
+        .densities(&densities)
+        .seeds(&seeds);
+    eprintln!(
+        "# sweep_grid: {} cells (density x seed), 64-node planned grid, all cores",
+        sweep.len()
+    );
+    let start = Instant::now();
+    let points = sweep.run();
+    let elapsed = start.elapsed();
+
+    let mut table = Table::new(
+        format!(
+            "Parallel density sweep — centralized baseline ({} cells in {:.2}s)",
+            points.len(),
+            elapsed.as_secs_f64()
+        ),
+        &[
+            "density(nodes/km2)",
+            "seed",
+            "ID",
+            "TD",
+            "slots",
+            "improvement(%)",
+            "reuse",
+        ],
+    );
+    for p in &points {
+        table.push_row(vec![
+            format!("{:.0}", p.density_per_km2),
+            p.seed.to_string(),
+            p.interference_diameter.to_string(),
+            p.total_demand.to_string(),
+            p.centralized.length.to_string(),
+            format!("{:.1}", p.centralized.improvement_over_linear_pct),
+            format!("{:.2}", p.centralized.spatial_reuse),
+        ]);
+    }
+    println!("{table}");
+}

@@ -35,7 +35,11 @@ fn main() {
         eq_table.push_row(vec![
             name.to_string(),
             rep.outcomes.len().to_string(),
-            rep.outcomes.iter().filter(|o| o.identical).count().to_string(),
+            rep.outcomes
+                .iter()
+                .filter(|o| o.identical)
+                .count()
+                .to_string(),
             format!("{:.2}", rep.equivalence_rate()),
         ]);
     }

@@ -10,7 +10,15 @@ use scream_bench::Table;
 fn main() {
     let mut table = Table::new(
         "Section IV-B — interference diameter vs. analytical bounds",
-        &["scenario", "n", "rho", "ID(G)", "bound", "sqrt(n/rho)", "within bound"],
+        &[
+            "scenario",
+            "n",
+            "rho",
+            "ID(G)",
+            "bound",
+            "sqrt(n/rho)",
+            "within bound",
+        ],
     );
     let mut observations = Vec::new();
     for side in [4usize, 8, 12, 16, 20, 24] {

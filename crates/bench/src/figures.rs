@@ -219,7 +219,8 @@ pub fn fig9_clock_skew(skews_secs: &[f64], node_count: usize, seed: u64) -> Vec<
     skews_secs
         .iter()
         .map(|&skew| {
-            let config = instance.config_with_skew(ClockSkewConfig::new(SimTime::from_secs_f64(skew)));
+            let config =
+                instance.config_with_skew(ClockSkewConfig::new(SimTime::from_secs_f64(skew)));
             let fdd = instance.run_protocol_with(ProtocolKind::Fdd, config);
             let pdd = instance.run_protocol_with(ProtocolKind::pdd(0.2), config);
             ClockSkewRow {
@@ -249,7 +250,11 @@ pub fn clock_skew_table(rows: &[ClockSkewRow]) -> Table {
 
 /// Figure 4 data: SCREAM detection error versus SCREAM size on the simulated
 /// mote testbed.
-pub fn fig4_mote_detection(sizes: &[usize], screams_per_run: usize, seed: u64) -> Vec<DetectionErrorPoint> {
+pub fn fig4_mote_detection(
+    sizes: &[usize],
+    screams_per_run: usize,
+    seed: u64,
+) -> Vec<DetectionErrorPoint> {
     let base = MoteExperimentConfig::paper_default()
         .with_scream_count(screams_per_run)
         .with_seed(seed);

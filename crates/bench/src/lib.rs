@@ -22,6 +22,8 @@
 pub mod figures;
 pub mod report;
 pub mod scenario;
+pub mod sweep;
 
 pub use report::Table;
 pub use scenario::{PaperScenario, ScenarioInstance, Topology};
+pub use sweep::{ScenarioSweep, SweepCell, SweepPoint};

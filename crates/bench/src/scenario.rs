@@ -148,8 +148,7 @@ impl PaperScenario {
         let mut gateways = deployment.corner_nodes();
         gateways.truncate(self.gateway_count);
         let forest = RoutingForest::shortest_path(&graph, &gateways, seed).ok()?;
-        let demands =
-            DemandVector::generate(deployment.len(), self.demand, &gateways, &mut rng);
+        let demands = DemandVector::generate(deployment.len(), self.demand, &gateways, &mut rng);
         let link_demands = LinkDemands::aggregate(&forest, &demands).ok()?;
         let interference_diameter = env.interference_diameter();
         if interference_diameter == usize::MAX {
@@ -279,7 +278,9 @@ mod tests {
 
     #[test]
     fn small_instance_protocols_and_baseline_agree_on_validity() {
-        let instance = PaperScenario::grid(1500.0).with_node_count(16).instantiate(3);
+        let instance = PaperScenario::grid(1500.0)
+            .with_node_count(16)
+            .instantiate(3);
         let centralized = instance.run_centralized();
         let fdd = instance.run_protocol(ProtocolKind::Fdd);
         scream_scheduling::verify_schedule(&instance.env, &centralized, &instance.link_demands)

@@ -1,0 +1,268 @@
+//! Parallel density × seed scenario sweeps.
+//!
+//! The paper's evaluation (and every dense-scenario workload on the roadmap)
+//! is a grid of independent experiments: one [`PaperScenario`] family,
+//! swept over node densities, with several seeds per density. Each cell is
+//! pure — [`PaperScenario::instantiate`] is deterministic per seed and
+//! `RadioEnvironment` is `Sync` — and since the interference-ledger refactor
+//! all scheduling state is per-slot-local, so cells parallelize across cores
+//! with no shared mutable state.
+//!
+//! [`ScenarioSweep`] runs the grid via rayon's `par_iter`, preserving cell
+//! order, which makes parallel sweeps **deterministic**: the result vector
+//! for a given (scenario, densities, seeds) triple is identical however many
+//! worker threads execute it, cell by cell, byte for byte.
+//!
+//! ```
+//! use scream_bench::{PaperScenario, ScenarioSweep};
+//!
+//! let sweep = ScenarioSweep::new(PaperScenario::grid(2_000.0).with_node_count(16))
+//!     .densities(&[1_500.0, 3_000.0])
+//!     .seeds(&[1, 2]);
+//! let points = sweep.run();
+//! assert_eq!(points.len(), 4);
+//! assert!(points.iter().all(|p| p.centralized.improvement_over_linear_pct >= 0.0));
+//! ```
+
+use rayon::prelude::*;
+
+use scream_scheduling::{verify_schedule, ScheduleMetrics};
+
+use crate::scenario::{PaperScenario, ScenarioInstance};
+
+/// A density × seed grid of paper-scenario experiments, executed across all
+/// available cores.
+#[derive(Debug, Clone)]
+pub struct ScenarioSweep {
+    base: PaperScenario,
+    densities: Vec<f64>,
+    seeds: Vec<u64>,
+}
+
+/// One sweep cell's coordinates plus the value the sweep computed for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell<T> {
+    /// Node density of this cell, in nodes per km².
+    pub density_per_km2: f64,
+    /// Instance seed of this cell.
+    pub seed: u64,
+    /// Whatever the sweep's function computed on the instance.
+    pub value: T,
+}
+
+/// The default per-cell result of [`ScenarioSweep::run`]: the centralized
+/// GreedyPhysical baseline, verified, with its schedule metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Node density of this cell, in nodes per km².
+    pub density_per_km2: f64,
+    /// Instance seed of this cell.
+    pub seed: u64,
+    /// Measured interference diameter of the drawn instance.
+    pub interference_diameter: usize,
+    /// Total traffic demand `TD` of the drawn instance.
+    pub total_demand: u64,
+    /// Schedule metrics of the verified centralized GreedyPhysical schedule.
+    pub centralized: ScheduleMetrics,
+}
+
+impl ScenarioSweep {
+    /// Starts a sweep over the given scenario family. Density values from
+    /// the base scenario are replaced by [`densities`](Self::densities); the
+    /// base's other parameters (topology, node count, shadowing, β, …) apply
+    /// to every cell.
+    pub fn new(base: PaperScenario) -> Self {
+        Self {
+            base,
+            densities: vec![base.density_per_km2],
+            seeds: vec![0],
+        }
+    }
+
+    /// Sets the densities to sweep (nodes per km²).
+    pub fn densities(mut self, densities: &[f64]) -> Self {
+        assert!(!densities.is_empty(), "sweep needs at least one density");
+        self.densities = densities.to_vec();
+        self
+    }
+
+    /// Sets the seeds to run per density.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        assert!(!seeds.is_empty(), "sweep needs at least one seed");
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// The density × seed coordinate grid, in row-major (density-major)
+    /// order — the order every `run` variant returns its cells in.
+    pub fn grid(&self) -> Vec<(f64, u64)> {
+        self.densities
+            .iter()
+            .flat_map(|&d| self.seeds.iter().map(move |&s| (d, s)))
+            .collect()
+    }
+
+    /// Number of cells in the sweep.
+    pub fn len(&self) -> usize {
+        self.densities.len() * self.seeds.len()
+    }
+
+    /// Whether the sweep grid is empty (never, given the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `f` on every instantiated cell in parallel, returning the cells
+    /// in grid order regardless of thread scheduling.
+    pub fn run_with<T, F>(&self, f: F) -> Vec<SweepCell<T>>
+    where
+        T: Send,
+        F: Fn(&ScenarioInstance) -> T + Sync,
+    {
+        let base = self.base;
+        self.grid()
+            .into_par_iter()
+            .map(|(density, seed)| {
+                let mut scenario = base;
+                scenario.density_per_km2 = density;
+                let instance = scenario.instantiate(seed);
+                SweepCell {
+                    density_per_km2: density,
+                    seed,
+                    value: f(&instance),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the centralized GreedyPhysical baseline on every cell in
+    /// parallel, verifying each schedule against its instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell's schedule fails verification — the sweep is a
+    /// measurement harness, and a verification failure means the measurement
+    /// would be garbage.
+    pub fn run(&self) -> Vec<SweepPoint> {
+        self.run_with(|instance| {
+            let schedule = instance.run_centralized();
+            verify_schedule(&instance.env, &schedule, &instance.link_demands)
+                .expect("centralized schedule must verify on every sweep cell");
+            (
+                instance.interference_diameter,
+                instance.link_demands.total_demand(),
+                instance.metrics(&schedule),
+            )
+        })
+        .into_iter()
+        .map(|cell| {
+            let (interference_diameter, total_demand, centralized) = cell.value;
+            SweepPoint {
+                density_per_km2: cell.density_per_km2,
+                seed: cell.seed,
+                interference_diameter,
+                total_demand,
+                centralized,
+            }
+        })
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Topology;
+
+    fn small_sweep() -> ScenarioSweep {
+        ScenarioSweep::new(PaperScenario::grid(2_000.0).with_node_count(16))
+            .densities(&[1_500.0, 4_000.0])
+            .seeds(&[1, 2, 3])
+    }
+
+    #[test]
+    fn grid_enumerates_density_major_cells() {
+        let sweep = small_sweep();
+        assert_eq!(sweep.len(), 6);
+        assert!(!sweep.is_empty());
+        let grid = sweep.grid();
+        assert_eq!(grid[0], (1_500.0, 1));
+        assert_eq!(grid[2], (1_500.0, 3));
+        assert_eq!(grid[3], (4_000.0, 1));
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic_and_ordered() {
+        let sweep = small_sweep();
+        let first = sweep.run();
+        let second = sweep.run();
+        assert_eq!(first, second, "same grid must reproduce identical results");
+        // Results come back in grid order, and the per-cell instances match a
+        // sequential instantiation of the same coordinates.
+        for (point, (density, seed)) in first.iter().zip(sweep.grid()) {
+            assert_eq!(point.density_per_km2, density);
+            assert_eq!(point.seed, seed);
+            assert!(point.total_demand > 0);
+            assert!(point.interference_diameter >= 1);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_computation() {
+        let sweep = small_sweep();
+        let parallel = sweep.run();
+        let sequential: Vec<SweepPoint> = sweep
+            .grid()
+            .into_iter()
+            .map(|(density, seed)| {
+                let mut scenario = PaperScenario::grid(2_000.0).with_node_count(16);
+                scenario.density_per_km2 = density;
+                let instance = scenario.instantiate(seed);
+                let schedule = instance.run_centralized();
+                SweepPoint {
+                    density_per_km2: density,
+                    seed,
+                    interference_diameter: instance.interference_diameter,
+                    total_demand: instance.link_demands.total_demand(),
+                    centralized: instance.metrics(&schedule),
+                }
+            })
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn run_with_exposes_the_instance() {
+        let sweep =
+            ScenarioSweep::new(PaperScenario::uniform(3_000.0).with_node_count(16)).seeds(&[5, 6]);
+        let cells = sweep.run_with(|instance| {
+            assert_eq!(instance.deployment.len(), 16);
+            instance.env.communication_graph().edge_count()
+        });
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| c.value > 0));
+        assert_eq!(cells[0].seed, 5);
+    }
+
+    #[test]
+    fn paper_scale_sweep_runs_at_64_nodes() {
+        // The acceptance-criteria scenario: a 64-node paper-family density
+        // sweep, in parallel, deterministic per seed.
+        let sweep = ScenarioSweep::new(PaperScenario::grid(2_000.0))
+            .densities(&[2_000.0, 8_000.0])
+            .seeds(&[7]);
+        let points = sweep.run();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.seed, 7);
+            assert!(p.centralized.improvement_over_linear_pct > 0.0);
+        }
+        assert_eq!(points, sweep.run());
+        assert_eq!(
+            ScenarioSweep::new(PaperScenario::grid(2_000.0))
+                .base
+                .topology,
+            Topology::PlannedGrid
+        );
+    }
+}

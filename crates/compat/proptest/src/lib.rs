@@ -1,0 +1,313 @@
+//! Workspace-local stand-in for the `proptest` property-testing harness.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the slice of the proptest 1.x API the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with implementations for integer/float ranges,
+//!   tuples of strategies, and [`collection::vec`];
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//!   which expands each property into a `#[test]` that samples the declared
+//!   strategies for `cases` deterministic cases;
+//! * [`prop_assert!`] / [`prop_assert_eq!`], which fail the current case
+//!   with a message instead of unwinding mid-sample.
+//!
+//! There is no shrinking: a failing case reports its case index and the
+//! failure message, and the deterministic per-case seeding (`case index` →
+//! ChaCha8 stream) makes every failure reproducible by rerunning the test.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG handed to strategies, fixed to ChaCha8 for determinism.
+pub type TestRng = ChaCha8Rng;
+
+/// Error raised by a failing property case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Configuration of a `proptest!` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` namespace, mirroring `proptest::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Runs one property over `cases` deterministic samples. Called by the
+/// [`proptest!`] expansion; not part of the public proptest API.
+pub fn run_cases(
+    config: &ProptestConfig,
+    property_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    use rand::SeedableRng;
+    for index in 0..config.cases {
+        // Per-case deterministic stream, distinct across properties.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in property_name.bytes() {
+            seed = (seed ^ byte as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut rng = TestRng::seed_from_u64(seed.wrapping_add(index as u64));
+        if let Err(error) = case(&mut rng) {
+            panic!("property '{property_name}' failed at case {index}: {error}");
+        }
+    }
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        @cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&config, stringify!($name), |prop_rng| {
+                    $(let $pat = $crate::Strategy::sample(&($strategy), prop_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case if the condition does not hold, mirroring
+/// `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case if the two values differ, mirroring
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed (left: `{:?}`, right: `{:?}`): {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two values are equal, mirroring
+/// `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3usize..=9, y in 0u64..100) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!(y < 100);
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            v in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..5),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for (a, b) in &v {
+                prop_assert!((0.0..1.0).contains(a));
+                prop_assert!((0.0..1.0).contains(b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_also_works(x in 0u32..10) {
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_its_case() {
+        crate::run_cases(
+            &ProptestConfig::with_cases(4),
+            "always_fails",
+            |_rng| -> Result<(), TestCaseError> { Err(TestCaseError::fail("nope")) },
+        );
+    }
+}

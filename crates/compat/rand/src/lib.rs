@@ -1,0 +1,280 @@
+//! Workspace-local stand-in for the `rand` facade.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the small slice of the rand 0.8 API the workspace uses:
+//! [`RngCore`], [`Rng`] (`gen_range` over integer/float ranges and
+//! `gen_bool`), [`SeedableRng`] (including the SplitMix64-based
+//! `seed_from_u64` used by rand_core 0.6), and [`seq::SliceRandom::choose`].
+//!
+//! The uniform samplers are unbiased for the value ranges the workspace
+//! draws (Lemire-style widening multiplication for integers, 53-bit mantissa
+//! scaling for floats). Streams are deterministic per seed but are not
+//! guaranteed to be bit-identical to upstream rand's samplers; everything in
+//! the workspace that depends on randomness only relies on per-seed
+//! determinism and distributional properties.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number generation interface, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that knows how to draw a uniform sample from an [`RngCore`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform `u64` in `[0, span)` via widening multiplication with rejection
+/// (Lemire's method), unbiased for every span.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // threshold = 2^64 mod span; rejecting products with a low half below it
+    // leaves every quotient equally likely.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+fn uniform_f64_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample an empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_u64_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let v = self.start + uniform_f64_unit(rng) * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample an empty range");
+        start + uniform_f64_unit(rng) * (end - start)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        (self.start as f64..self.end as f64).sample(rng) as f32
+    }
+}
+
+/// User-facing random value interface, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+        uniform_f64_unit(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 (the same expansion
+    /// rand_core 0.6 uses) and constructs the generator from it.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut z = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            let bytes = x.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait providing uniform element selection on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns a uniformly random element, or `None` if the slice is
+        /// empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((*rng).gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // A weak but deterministic mixer, good enough for API tests.
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 ^ (self.0 >> 31)
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn degenerate_inclusive_range_returns_the_single_value() {
+        let mut rng = Counter(1);
+        for _ in 0..10 {
+            assert_eq!(rng.gen_range(4u32..=4), 4);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Counter(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_covers_empty_and_nonempty() {
+        use seq::SliceRandom;
+        let mut rng = Counter(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [10u8, 20, 30];
+        assert!(items.contains(items.choose(&mut rng).unwrap()));
+    }
+}

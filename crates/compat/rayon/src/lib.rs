@@ -1,0 +1,279 @@
+//! Workspace-local stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the small slice of the rayon API the workspace uses — `par_iter()` /
+//! `into_par_iter()`, `map`, `for_each` and `collect::<Vec<_>>()` — backed
+//! by `std::thread::scope` with one worker per available core and an atomic
+//! work-stealing cursor.
+//!
+//! Semantics the callers rely on and that this shim preserves:
+//!
+//! * **order preservation** — `collect` returns results in input order
+//!   regardless of which thread ran which item, so parallel sweeps are
+//!   deterministic;
+//! * **panic propagation** — a panicking closure aborts the whole call, as
+//!   with real rayon;
+//! * closures only need `Fn + Sync`, items `Send`.
+//!
+//! Unlike real rayon there is no global thread pool (threads are spawned per
+//! call) and no work splitting below item granularity. For the coarse-grained
+//! scenario sweeps this crate is used for, per-call thread spawn cost is
+//! noise compared to per-item work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on all available cores, preserving input order.
+fn parallel_apply<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each slot is taken exactly once");
+                let result = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+/// Parallel-iterator core, mirroring `rayon::iter`.
+pub mod iter {
+    use super::parallel_apply;
+
+    /// Types whose parallel results can be collected into `Self`.
+    pub trait FromParallelIterator<T> {
+        /// Builds `Self` from the in-order results.
+        fn from_ordered_results(results: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_results(results: Vec<T>) -> Self {
+            results
+        }
+    }
+
+    /// A parallel iterator over `Item`s.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+
+        /// Materializes all items in input order, running any pending
+        /// per-item work on all available cores.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Maps every item through `f` in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Runs `f` on every item in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            parallel_apply(self.drive(), f);
+        }
+
+        /// Collects the items in input order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_ordered_results(self.drive())
+        }
+    }
+
+    /// A parallel iterator over owned values.
+    pub struct IntoIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for IntoIter<T> {
+        type Item = T;
+
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// A parallel iterator over shared references into a slice.
+    pub struct SliceIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+
+        fn drive(self) -> Vec<&'a T> {
+            self.items.iter().collect()
+        }
+    }
+
+    /// The adapter returned by [`ParallelIterator::map`].
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn drive(self) -> Vec<R> {
+            parallel_apply(self.base.drive(), self.f)
+        }
+    }
+
+    /// Conversion into a parallel iterator, mirroring
+    /// `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = IntoIter<T>;
+
+        fn into_par_iter(self) -> IntoIter<T> {
+            IntoIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = IntoIter<usize>;
+
+        fn into_par_iter(self) -> IntoIter<usize> {
+            IntoIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+
+        fn into_par_iter(self) -> SliceIter<'a, T> {
+            SliceIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+
+        fn into_par_iter(self) -> SliceIter<'a, T> {
+            SliceIter { items: self }
+        }
+    }
+
+    /// `par_iter()` on shared slices, mirroring
+    /// `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The element type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoParallelIterator,
+    {
+        type Item = <&'a C as IntoParallelIterator>::Item;
+        type Iter = <&'a C as IntoParallelIterator>::Iter;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+}
+
+/// Commonly used items, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_actually_runs_once_per_item() {
+        let counter = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = Vec::<i32>::new().par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x * x)
+            .collect();
+        assert_eq!(out[3], 16);
+        assert_eq!(out.len(), 64);
+    }
+}

@@ -1,0 +1,18 @@
+//! Workspace-local stand-in for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! just enough of serde's surface for the workspace to compile: the
+//! `Serialize`/`Deserialize` derive macros (re-exported from the sibling
+//! no-op `serde_derive`) and empty marker traits of the same names. No
+//! serialization is performed anywhere in the workspace yet; when it is
+//! needed, point the workspace manifest at the real crates and delete these
+//! shims — no source change is required.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::ser::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::de::Deserialize`.
+pub trait DeserializeMarker {}

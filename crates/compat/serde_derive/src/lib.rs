@@ -1,0 +1,23 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The workspace builds without network access, so the real `serde_derive`
+//! cannot be fetched. Nothing in the workspace serializes values yet — the
+//! derives are forward-looking annotations — so the macros here accept the
+//! same syntax and emit nothing. Swapping in the real crates requires no
+//! source change.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes) and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper
+/// attributes) and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

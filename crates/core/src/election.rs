@@ -144,10 +144,7 @@ mod tests {
             LeaderElection::new().elect(&ch, &candidates, &mut t),
             Some(NodeId::new(4))
         );
-        assert_eq!(
-            LeaderElection::new().elect(&ch, &vec![false; 9], &mut t),
-            None
-        );
+        assert_eq!(LeaderElection::new().elect(&ch, &[false; 9], &mut t), None);
     }
 
     #[test]
@@ -156,7 +153,7 @@ mod tests {
         let ch = channel(&env, ScreamFidelity::Ideal);
         let mut t = ProtocolTiming::new();
         assert_eq!(
-            LeaderElection::new().elect(&ch, &vec![true; 16], &mut t),
+            LeaderElection::new().elect(&ch, &[true; 16], &mut t),
             Some(NodeId::new(15))
         );
     }
@@ -183,7 +180,7 @@ mod tests {
         let ch = channel(&env, ScreamFidelity::Ideal);
         let mut t = ProtocolTiming::new();
         let expected = LeaderElection::new().slot_cost(&ch);
-        LeaderElection::new().elect(&ch, &vec![true; 16], &mut t);
+        LeaderElection::new().elect(&ch, &[true; 16], &mut t);
         assert_eq!(t.scream_slots, expected);
         // 16 nodes -> 4 id bits.
         assert_eq!(expected, 4 * ch.scream_slots() as u64);

@@ -172,7 +172,10 @@ mod tests {
         for k in [1usize, 2, 3] {
             let ce = CounterExample::for_locality(k);
             let env = ce.environment();
-            assert!(env.slot_feasible(&[ce.link_l]), "l alone must be feasible (k={k})");
+            assert!(
+                env.slot_feasible(&[ce.link_l]),
+                "l alone must be feasible (k={k})"
+            );
             assert!(
                 env.slot_feasible(&[ce.link_l_prime]),
                 "l' alone must be feasible (k={k})"

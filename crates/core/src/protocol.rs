@@ -115,6 +115,9 @@ mod tests {
     fn probability_one_is_allowed() {
         // p = 1 makes PDD try every dormant node at once, a useful stress
         // case in tests.
-        assert_eq!(ProtocolKind::pdd(1.0), ProtocolKind::Pdd { probability: 1.0 });
+        assert_eq!(
+            ProtocolKind::pdd(1.0),
+            ProtocolKind::Pdd { probability: 1.0 }
+        );
     }
 }

@@ -48,7 +48,10 @@ impl DistributedScheduler {
     /// PDD with activation probability `p` and the paper's default
     /// configuration.
     pub fn pdd(probability: f64) -> Self {
-        Self::new(ProtocolKind::pdd(probability), ProtocolConfig::paper_default())
+        Self::new(
+            ProtocolKind::pdd(probability),
+            ProtocolConfig::paper_default(),
+        )
     }
 
     /// AFDD with the paper's default configuration.
@@ -162,6 +165,13 @@ impl DistributedScheduler {
                 })
                 .collect();
 
+            // Interference ledger for the slot under construction: the
+            // controller's edge plus every allocated edge, with cumulative
+            // per-receiver interference cached so each iteration's handshake
+            // and veto checks cost O((k + a) · a) instead of O((k + a)²).
+            let mut ledger = env.open_slot_ledger();
+            ledger.assign(link_of[ctrl].expect("the controller has pending demand"));
+
             loop {
                 stats.slot_iterations += 1;
 
@@ -180,42 +190,44 @@ impl DistributedScheduler {
                 }
 
                 // Handshake time step: every CONTROL/ALLOCATED/ACTIVE edge
-                // performs its two-way handshake concurrently.
+                // performs its two-way handshake concurrently. The ledger
+                // prices the tentative active edges against the already
+                // scheduled ones (and each other) in one batched probe.
                 timing.add_sync_step();
                 timing.add_handshake_slot();
                 stats.handshake_steps += 1;
-                let participants: Vec<Link> = (0..n)
-                    .filter(|&i| state[i].participates_in_handshake())
-                    .filter_map(|i| link_of[i])
+                let active_links: Vec<Link> = actives
+                    .iter()
+                    .map(|&i| link_of[i].expect("active nodes have pending demand"))
                     .collect();
-                let mut hs_fail = vec![false; n];
-                for i in 0..n {
-                    if state[i].participates_in_handshake() {
-                        if let Some(link) = link_of[i] {
-                            hs_fail[i] = !env.handshake_ok(link, &participants);
-                        }
-                    }
-                }
+                // `probe_claims` = SINR handshakes + the half-duplex screen:
+                // an active edge touching a node already busy in this slot
+                // cannot complete a handshake, which the SINR checks alone
+                // miss (the exclusion rule skips a busy shared node). See
+                // the regression test
+                // `half_duplex_is_enforced_at_low_sinr_thresholds`.
+                let probe = ledger.probe_claims(&active_links);
 
                 // Verification time step: previously scheduled edges hold
                 // veto power — if any of them failed its handshake, it
                 // SCREAMs and every tentative active edge withdraws.
                 timing.add_sync_step();
-                let veto_flags: Vec<bool> =
-                    (0..n).map(|i| state[i].has_veto_power() && hs_fail[i]).collect();
+                let vetoed = !probe.existing_ok;
+                // The veto travels by SCREAM: one network-wide OR either way.
+                let mut veto_flags = vec![false; n];
+                veto_flags[ctrl] = vetoed;
                 let vetoed = channel.network_or(&veto_flags, &mut timing)[0];
                 stats.scream_invocations += 1;
                 if vetoed {
                     stats.vetoes += 1;
                 }
-                for i in 0..n {
-                    if state[i] == NodeState::Active {
-                        if vetoed || hs_fail[i] {
-                            state[i] = NodeState::Tried;
-                            stats.tried_transitions += 1;
-                        } else {
-                            state[i] = NodeState::Allocated;
-                        }
+                for (idx, &i) in actives.iter().enumerate() {
+                    if vetoed || !probe.tentative_ok[idx] {
+                        state[i] = NodeState::Tried;
+                        stats.tried_transitions += 1;
+                    } else {
+                        state[i] = NodeState::Allocated;
+                        ledger.assign(active_links[idx]);
                     }
                 }
 
@@ -231,11 +243,9 @@ impl DistributedScheduler {
                 }
             }
 
-            // Seal the slot: the controller's edge plus every allocated edge.
-            let slot_links: Vec<Link> = (0..n)
-                .filter(|&i| matches!(state[i], NodeState::Control | NodeState::Allocated))
-                .filter_map(|i| link_of[i])
-                .collect();
+            // Seal the slot: the controller's edge plus every allocated edge
+            // — exactly the ledger's contents.
+            let slot_links: Vec<Link> = ledger.links().to_vec();
             for link in &slot_links {
                 let i = link.head.index();
                 remaining[i] = remaining[i].saturating_sub(1);
@@ -306,7 +316,11 @@ impl DistributedScheduler {
                 let flags: Vec<bool> = (0..n).map(|i| state[i] == NodeState::Dormant).collect();
                 let _ = channel.network_or(&flags, timing);
                 stats.scream_invocations += 1;
-                dormant.into_iter().max().map(|i| vec![i]).unwrap_or_default()
+                dormant
+                    .into_iter()
+                    .max()
+                    .map(|i| vec![i])
+                    .unwrap_or_default()
             }
         }
     }
@@ -398,8 +412,8 @@ mod tests {
         // edges ordered by decreasing head id.
         for seed in [1u64, 3, 7] {
             let (_, env, ld) = grid_instance(4, 160.0, seed);
-            let centralized = GreedyPhysical::new(EdgeOrdering::DecreasingHeadId)
-                .schedule(&env, &ld);
+            let centralized =
+                GreedyPhysical::new(EdgeOrdering::DecreasingHeadId).schedule(&env, &ld);
             let distributed = DistributedScheduler::fdd()
                 .with_config(config_for(&env))
                 .run(&env, &ld)
@@ -560,13 +574,47 @@ mod tests {
     }
 
     #[test]
+    fn half_duplex_is_enforced_at_low_sinr_thresholds() {
+        // Regression test for the endpoint-sharing loophole: on a chain
+        // u -> v -> w, the SINR interferer-exclusion rule skips the shared
+        // node v in both directions, so at a low threshold (β = 6 dB, the
+        // paper-scenario setting) both handshakes "pass" even though v would
+        // have to transmit and receive simultaneously. The runtime's
+        // half-duplex screen must reject the second claim, keeping the FDD
+        // schedule verifiable and equal to GreedyPhysical (Theorem 4).
+        let d = GridDeployment::new(6, 1, 150.0).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(scream_netsim::RadioConfig::mesh_default().with_sinr_threshold_db(6.0))
+            .build(&d);
+        let chain = [
+            (Link::new(NodeId::new(2), NodeId::new(1)), 2u64),
+            (Link::new(NodeId::new(1), NodeId::new(0)), 2),
+        ];
+        // Without the screen, both links pass their handshakes concurrently.
+        let both = [chain[0].0, chain[1].0];
+        assert!(env.handshake_ok(chain[0].0, &both));
+        assert!(env.handshake_ok(chain[1].0, &both));
+        assert!(!scream_scheduling::SlotFeasibility::slot_feasible(
+            &env, &both
+        ));
+
+        let ld = LinkDemands::from_links(6, &chain).unwrap();
+        let run = DistributedScheduler::fdd()
+            .with_config(config_for(&env))
+            .run(&env, &ld)
+            .unwrap();
+        verify_schedule(&env, &run.schedule, &ld).unwrap();
+        let centralized = GreedyPhysical::paper_baseline().schedule(&env, &ld);
+        assert_eq!(run.schedule, centralized);
+        assert!(run.schedule.slots().all(|slot| slot.len() == 1));
+    }
+
+    #[test]
     fn node_count_mismatch_is_rejected() {
         let (_, env, _) = grid_instance(3, 150.0, 1);
-        let wrong = LinkDemands::from_links(
-            4,
-            &[(Link::new(NodeId::new(1), NodeId::new(0)), 1)],
-        )
-        .unwrap();
+        let wrong =
+            LinkDemands::from_links(4, &[(Link::new(NodeId::new(1), NodeId::new(0)), 1)]).unwrap();
         let err = DistributedScheduler::fdd()
             .with_config(config_for(&env))
             .run(&env, &wrong)
@@ -593,7 +641,10 @@ mod tests {
             .with_config(config_for(&env).with_max_rounds(1))
             .run(&env, &ld)
             .unwrap_err();
-        assert!(matches!(err, ProtocolError::RoundLimitExceeded { limit: 1, .. }));
+        assert!(matches!(
+            err,
+            ProtocolError::RoundLimitExceeded { limit: 1, .. }
+        ));
     }
 
     #[test]
@@ -608,7 +659,10 @@ mod tests {
         assert!(run.schedule.is_empty());
         assert!(run.stats.terminated);
         assert_eq!(run.stats.rounds, 0);
-        assert!(run.execution_time() > SimTime::ZERO, "the final election still costs time");
+        assert!(
+            run.execution_time() > SimTime::ZERO,
+            "the final election still costs time"
+        );
     }
 
     #[test]

@@ -180,12 +180,14 @@ mod tests {
     fn construction_checks_k_against_interference_diameter() {
         let env = line_env(6, 150.0);
         let id = env.interference_diameter();
-        assert!(id >= 2 && id < usize::MAX);
+        assert!((2..usize::MAX).contains(&id));
 
         let ok = ScreamChannel::new(&env, &ProtocolConfig::paper_default().with_scream_slots(id));
         assert!(ok.is_ok());
-        let too_small =
-            ScreamChannel::new(&env, &ProtocolConfig::paper_default().with_scream_slots(id - 1));
+        let too_small = ScreamChannel::new(
+            &env,
+            &ProtocolConfig::paper_default().with_scream_slots(id - 1),
+        );
         assert!(matches!(
             too_small,
             Err(ProtocolError::ScreamSlotsTooSmall { .. })
@@ -227,14 +229,17 @@ mod tests {
         initial[0] = true;
         assert_eq!(ch.network_or(&initial, &mut t), vec![true; 8]);
         // No screamer: everyone stays false.
-        assert_eq!(ch.network_or(&vec![false; 8], &mut t), vec![false; 8]);
+        assert_eq!(ch.network_or(&[false; 8], &mut t), vec![false; 8]);
     }
 
     #[test]
     fn physical_flood_with_insufficient_k_misses_distant_nodes() {
         let env = line_env(8, 150.0);
         let id = env.interference_diameter();
-        assert!(id >= 3, "line of 8 nodes should have a multi-hop sensitivity graph");
+        assert!(
+            id >= 3,
+            "line of 8 nodes should have a multi-hop sensitivity graph"
+        );
         let ch = ScreamChannel::new_unchecked(&env, 1, ScreamFidelity::Physical);
         let mut t = timing();
         let mut initial = vec![false; 8];

@@ -27,18 +27,12 @@ pub enum NodeState {
 }
 
 impl NodeState {
-    /// Whether a node in this state transmits during the handshake time step
-    /// of the current iteration.
-    pub fn participates_in_handshake(self) -> bool {
-        matches!(self, NodeState::Active | NodeState::Allocated | NodeState::Control)
-    }
-
-    /// Whether a node in this state holds veto power in the verification
-    /// step (it was already part of the slot before the current actives were
-    /// tried).
-    pub fn has_veto_power(self) -> bool {
-        matches!(self, NodeState::Allocated | NodeState::Control)
-    }
+    // Note for readers of the paper's Figure 1: handshake participation
+    // (CONTROL/ALLOCATED/ACTIVE transmit) and veto power (CONTROL/ALLOCATED
+    // scream on a failed handshake) are no longer dispatched through
+    // per-state predicates here — the runtime tracks the slot's confirmed
+    // edges in a `SlotLedger` and prices tentative actives with
+    // `SlotLedger::probe_claims`, which encodes exactly those two roles.
 
     /// Whether a node in this state still has pending demand to schedule in
     /// future rounds (i.e. it competes in the next leader election).
@@ -80,28 +74,6 @@ mod tests {
         NodeState::Complete,
         NodeState::Terminate,
     ];
-
-    #[test]
-    fn handshake_participants_are_active_allocated_control() {
-        let expected = [NodeState::Active, NodeState::Allocated, NodeState::Control];
-        for s in ALL {
-            assert_eq!(s.participates_in_handshake(), expected.contains(&s), "{s}");
-        }
-    }
-
-    #[test]
-    fn veto_power_is_limited_to_previously_scheduled_edges() {
-        for s in ALL {
-            assert_eq!(
-                s.has_veto_power(),
-                matches!(s, NodeState::Allocated | NodeState::Control),
-                "{s}"
-            );
-        }
-        // Active nodes never veto: a failed active handshake only discards
-        // that active edge.
-        assert!(!NodeState::Active.has_veto_power());
-    }
 
     #[test]
     fn complete_and_terminate_do_not_compete_for_control() {

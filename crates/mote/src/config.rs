@@ -117,9 +117,18 @@ impl MoteExperimentConfig {
     /// zero screams, zero-size scream, an initiator audible at the monitor,
     /// or a non-positive tolerance).
     pub fn validate(&self) {
-        assert!(self.scream_bytes > 0, "a SCREAM must contain at least one byte");
-        assert!(self.relay_count > 0, "the experiment needs at least one relay");
-        assert!(self.scream_count > 1, "need at least two SCREAMs to measure an interval");
+        assert!(
+            self.scream_bytes > 0,
+            "a SCREAM must contain at least one byte"
+        );
+        assert!(
+            self.relay_count > 0,
+            "the experiment needs at least one relay"
+        );
+        assert!(
+            self.scream_count > 1,
+            "need at least two SCREAMs to measure an interval"
+        );
         assert!(
             self.initiator_rx_power_dbm < self.rssi_threshold_dbm,
             "the initiator must not be directly detectable at the monitor (it is two hops away)"

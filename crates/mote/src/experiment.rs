@@ -68,7 +68,10 @@ impl MoteExperiment {
 
         let mut queue: EventQueue<Event> = EventQueue::new();
         for k in 0..cfg.scream_count {
-            queue.schedule(cfg.scream_interval * k as u64, Event::InitiatorScream { index: k });
+            queue.schedule(
+                cfg.scream_interval * k as u64,
+                Event::InitiatorScream { index: k },
+            );
         }
         queue.schedule(SimTime::ZERO, Event::MonitorSample);
 
@@ -105,10 +108,10 @@ impl MoteExperiment {
                     // transmission is still on the air at that instant. Very
                     // short SCREAMs are therefore easy to miss — the effect
                     // the paper measures.
-                    for relay in 0..cfg.relay_count {
+                    for (relay, triggered) in relay_triggered.iter_mut().enumerate() {
                         let turnaround = random_turnaround(cfg, &mut rng);
-                        if turnaround < air_time && !relay_triggered[relay] {
-                            relay_triggered[relay] = true;
+                        if turnaround < air_time && !*triggered {
+                            *triggered = true;
                             queue.schedule(now + turnaround, Event::RelayStart { relay });
                         }
                     }
@@ -122,13 +125,13 @@ impl MoteExperiment {
                     // A re-scream can itself trigger relays that missed the
                     // initiator (collision-tolerant flooding): energy from
                     // simultaneous transmissions only adds up.
-                    for other in 0..cfg.relay_count {
-                        if relay_triggered[other] {
+                    for (other, triggered) in relay_triggered.iter_mut().enumerate() {
+                        if *triggered {
                             continue;
                         }
                         let turnaround = random_turnaround(cfg, &mut rng);
                         if turnaround < air_time {
-                            relay_triggered[other] = true;
+                            *triggered = true;
                             queue.schedule(now + turnaround, Event::RelayStart { relay: other });
                         }
                     }
@@ -144,15 +147,16 @@ impl MoteExperiment {
                         power_mw += initiator_mw;
                     }
                     power_mw += relay_active.iter().filter(|&&a| a).count() as f64 * relay_mw;
-                    let rssi_dbm = mw_to_dbm(power_mw) + cfg.rssi_noise_sigma_db * standard_normal(&mut rng);
+                    let rssi_dbm =
+                        mw_to_dbm(power_mw) + cfg.rssi_noise_sigma_db * standard_normal(&mut rng);
 
                     sample_counter += 1;
                     let mut ma_value = None;
-                    if sample_counter % cfg.ma_sample_stride == 0 {
+                    if sample_counter.is_multiple_of(cfg.ma_sample_stride) {
                         let avg = ma.push(rssi_dbm);
                         ma_value = Some(avg);
-                        let in_holdoff = last_detection
-                            .is_some_and(|t| now < t + cfg.detection_holdoff);
+                        let in_holdoff =
+                            last_detection.is_some_and(|t| now < t + cfg.detection_holdoff);
                         if avg >= cfg.rssi_threshold_dbm && !in_holdoff {
                             detections.push(now);
                             last_detection = Some(now);
@@ -346,7 +350,10 @@ mod tests {
         let intervals = result.intervals_secs();
         assert!(!intervals.is_empty());
         let mean = intervals.iter().sum::<f64>() / intervals.len() as f64;
-        assert!((mean - 0.1).abs() < 0.01, "mean interval {mean} should be ~100 ms");
+        assert!(
+            (mean - 0.1).abs() < 0.01,
+            "mean interval {mean} should be ~100 ms"
+        );
     }
 
     #[test]
@@ -360,21 +367,25 @@ mod tests {
 
     #[test]
     fn trace_recording_captures_the_scream_shape() {
-        let result = MoteExperiment::new(quick_config().with_scream_bytes(24)).run_with_trace(
-            SimTime::ZERO,
-            SimTime::from_millis(400),
-        );
+        let result = MoteExperiment::new(quick_config().with_scream_bytes(24))
+            .run_with_trace(SimTime::ZERO, SimTime::from_millis(400));
         let trace = result.trace();
         assert!(!trace.is_empty());
         // The moving average must rise above the threshold during screams and
         // fall back to the noise floor in between.
         let peak = trace.peak_moving_average_dbm();
-        assert!(peak > -60.0, "peak MA {peak} dBm should cross the threshold");
+        assert!(
+            peak > -60.0,
+            "peak MA {peak} dBm should cross the threshold"
+        );
         let floor = trace
             .moving_average_series()
             .map(|(_, v)| v)
             .fold(f64::INFINITY, f64::min);
-        assert!(floor < -80.0, "quiet-period MA {floor} dBm should sit near the noise floor");
+        assert!(
+            floor < -80.0,
+            "quiet-period MA {floor} dBm should sit near the noise floor"
+        );
     }
 
     #[test]

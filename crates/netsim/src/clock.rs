@@ -145,7 +145,10 @@ mod tests {
         assert_eq!(m.node_count(), 10);
         assert!((0..10).all(|i| m.offset_ns(i) == 0));
         assert_eq!(m.max_pairwise_skew_ns(), 0);
-        assert_eq!(m.local_time(3, SimTime::from_millis(5)), SimTime::from_millis(5));
+        assert_eq!(
+            m.local_time(3, SimTime::from_millis(5)),
+            SimTime::from_millis(5)
+        );
     }
 
     #[test]

@@ -260,8 +260,7 @@ impl RadioEnvironment {
     /// `tx_power_dbm`, ignoring shadowing: the distance at which the
     /// interference-free SNR falls to the threshold β.
     pub fn nominal_communication_range_m(&self, tx_power_dbm: f64) -> f64 {
-        let max_loss =
-            tx_power_dbm - self.config.noise_floor_dbm - self.config.sinr_threshold_db;
+        let max_loss = tx_power_dbm - self.config.noise_floor_dbm - self.config.sinr_threshold_db;
         self.propagation.distance_for_loss_db(max_loss)
     }
 
@@ -359,8 +358,7 @@ mod tests {
         let positions: Vec<Point2> = (0..count)
             .map(|i| Point2::new(i as f64 * spacing, 0.0))
             .collect();
-        Deployment::from_positions(&positions, 20.0, Rect::square(spacing * count as f64))
-            .unwrap()
+        Deployment::from_positions(&positions, 20.0, Rect::square(spacing * count as f64)).unwrap()
     }
 
     fn env(deployment: &Deployment) -> RadioEnvironment {
@@ -397,8 +395,8 @@ mod tests {
         let d = line_deployment(200.0, 2);
         let e = env(&d);
         let snr = e.sinr_linear(NodeId::new(0), NodeId::new(1), &[]);
-        let expected = e.received_power_mw(NodeId::new(0), NodeId::new(1))
-            / e.config().noise_floor_mw();
+        let expected =
+            e.received_power_mw(NodeId::new(0), NodeId::new(1)) / e.config().noise_floor_mw();
         assert!((snr - expected).abs() / expected < 1e-12);
     }
 
@@ -471,7 +469,10 @@ mod tests {
         let interfering = Link::new(NodeId::new(2), NodeId::new(3));
         let data_ok = e.data_subslot_ok(link, &[link, interfering]);
         let ack_ok = e.ack_subslot_ok(link, &[link, interfering]);
-        assert_eq!(e.handshake_ok(link, &[link, interfering]), data_ok && ack_ok);
+        assert_eq!(
+            e.handshake_ok(link, &[link, interfering]),
+            data_ok && ack_ok
+        );
     }
 
     #[test]
@@ -583,7 +584,10 @@ mod tests {
         let shadowed_c = RadioEnvironment::builder().shadowing(6.0, 2).build(&d);
         assert_eq!(shadowed_a, shadowed_b);
         assert_ne!(shadowed_a, shadowed_c);
-        assert_ne!(base.gain(NodeId::new(0), NodeId::new(1)), shadowed_a.gain(NodeId::new(0), NodeId::new(1)));
+        assert_ne!(
+            base.gain(NodeId::new(0), NodeId::new(1)),
+            shadowed_a.gain(NodeId::new(0), NodeId::new(1))
+        );
         assert_eq!(base.shadowing_sigma_db(), 0.0);
         assert_eq!(shadowed_a.shadowing_sigma_db(), 6.0);
     }

@@ -23,7 +23,10 @@ impl std::fmt::Display for NetsimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetsimError::UnknownNode { id, node_count } => {
-                write!(f, "node {id} does not exist (environment has {node_count} nodes)")
+                write!(
+                    f,
+                    "node {id} does not exist (environment has {node_count} nodes)"
+                )
             }
             NetsimError::SelfLink(id) => {
                 write!(f, "link from {id} to itself is not a radio link")
@@ -46,7 +49,9 @@ mod tests {
             node_count: 2,
         };
         assert!(e.to_string().contains("n3"));
-        assert!(NetsimError::SelfLink(NodeId::new(1)).to_string().contains("n1"));
+        assert!(NetsimError::SelfLink(NodeId::new(1))
+            .to_string()
+            .contains("n1"));
         assert!(NetsimError::InvalidParameter("beta".into())
             .to_string()
             .contains("beta"));

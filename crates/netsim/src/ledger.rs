@@ -1,0 +1,617 @@
+//! The interference ledger: incremental slot-feasibility state.
+//!
+//! Every feasibility decision in the system — the GreedyPhysical first-fit
+//! loop, schedule verification, and the distributed PDD/FDD/AFDD runtime —
+//! ultimately asks the same question: *can this link join this slot without
+//! breaking anyone's two-way handshake?* Answering it from scratch costs
+//! O(k²) received-power lookups per probe (every link re-checked against
+//! every other), which made slot feasibility the hottest quadratic path in
+//! the workspace.
+//!
+//! [`SlotLedger`] exploits the additive structure of the physical model:
+//! the only slot-dependent quantity in a link's SINR is the *sum* of
+//! interfering received powers at its two receivers. The ledger caches, per
+//! scheduled link,
+//!
+//! * its data- and ACK-direction signal powers (slot-independent), and
+//! * the cumulative interference power at its data receiver (the tail, from
+//!   the other links' heads) and at its ACK receiver (the head, from the
+//!   other links' tails),
+//!
+//! so that [`can_add`](SlotLedger::can_add) is an O(k) pass of
+//! one-multiplication margin checks and [`assign`](SlotLedger::assign) an
+//! O(k) accumulator update — no `Vec` cloning, no from-scratch SINR
+//! recomputation. The distributed runtime's batched variant
+//! ([`probe`](SlotLedger::probe)) prices a whole tentative active set in
+//! O((k + a)·a) instead of O((k + a)²).
+//!
+//! # Fidelity to the from-scratch computation
+//!
+//! The ledger mirrors [`RadioEnvironment::handshake_ok`] exactly, including
+//! the interferer-exclusion rule of [`RadioEnvironment::sinr_linear`] (an
+//! interferer equal to the transmitter or receiver of the link under test is
+//! skipped), so ledger decisions and from-scratch decisions agree on every
+//! slot — a property pinned down by the `ledger_matches_from_scratch_*`
+//! property tests in `tests/properties.rs`. The one caveat is inherent to
+//! floating point: interference sums are accumulated in link-insertion order
+//! rather than re-summed in slot order, so a sum can differ from the
+//! from-scratch value in its last ulp. A feasibility decision could in
+//! principle flip on an instance engineered to sit within one ulp of the
+//! SINR threshold β; the seed's own `can_add`/`verify` pair had the same
+//! exposure (it, too, summed in two different orders), and no drawn instance
+//! gets anywhere near it.
+
+use scream_topology::{Link, NodeId};
+
+use crate::environment::RadioEnvironment;
+
+/// Per-link SINR slack relative to the threshold β, in dB.
+///
+/// Positive margins mean the handshake direction succeeds with that much
+/// room; a negative margin identifies the failing direction and by how much
+/// it misses. Reported by schedule verification for infeasible slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSinrMargin {
+    /// The link the margins belong to.
+    pub link: Link,
+    /// SINR slack of the data sub-slot (head → tail), in dB.
+    pub data_margin_db: f64,
+    /// SINR slack of the ACK sub-slot (tail → head), in dB.
+    pub ack_margin_db: f64,
+}
+
+impl LinkSinrMargin {
+    /// Whether both handshake directions meet the threshold.
+    pub fn ok(&self) -> bool {
+        self.data_margin_db >= 0.0 && self.ack_margin_db >= 0.0
+    }
+}
+
+impl std::fmt::Display for LinkSinrMargin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: data {:+.2} dB, ack {:+.2} dB",
+            self.link, self.data_margin_db, self.ack_margin_db
+        )
+    }
+}
+
+/// Result of pricing a tentative active set against a ledger slot
+/// (see [`SlotLedger::probe`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerProbe {
+    /// Whether every already-scheduled ledger link still completes its
+    /// handshake when the tentative links transmit concurrently. `false`
+    /// corresponds to the SCREAM veto of the distributed protocols.
+    pub existing_ok: bool,
+    /// Per-tentative-link handshake outcome against the ledger links and all
+    /// other tentative links, in input order.
+    pub tentative_ok: Vec<bool>,
+}
+
+/// Incremental interference state of one STDMA slot under construction.
+///
+/// See the [module docs](self) for the representation; in short, the ledger
+/// holds, per assigned link, its two signal powers and the running sums of
+/// interference at its two receivers, plus an endpoint-occupancy table for
+/// O(1) half-duplex checks.
+#[derive(Debug, Clone)]
+pub struct SlotLedger<'a> {
+    env: &'a RadioEnvironment,
+    /// Cached linear SINR threshold β.
+    beta: f64,
+    /// Cached noise floor in milliwatts.
+    noise_mw: f64,
+    links: Vec<Link>,
+    /// Signal power of the data direction (head → tail), per link, mW.
+    data_signal: Vec<f64>,
+    /// Signal power of the ACK direction (tail → head), per link, mW.
+    ack_signal: Vec<f64>,
+    /// Cumulative interference at each link's tail from the other links'
+    /// heads (data sub-slot denominator minus noise), mW.
+    data_interference: Vec<f64>,
+    /// Cumulative interference at each link's head from the other links'
+    /// tails (ACK sub-slot denominator minus noise), mW.
+    ack_interference: Vec<f64>,
+    /// How many assigned links touch each node (half-duplex occupancy).
+    endpoint_uses: Vec<u32>,
+    /// Whether every pair of assigned links is endpoint-disjoint and no
+    /// assigned link is a self-link.
+    disjoint: bool,
+}
+
+/// Interference contribution of `interferer` transmitting towards `link`'s
+/// data receiver, honoring the exclusion rule of
+/// [`RadioEnvironment::sinr_linear`]: a node never interferes with a
+/// transmission it is itself the transmitter or receiver of.
+#[inline]
+fn data_term(env: &RadioEnvironment, interferer_head: NodeId, link: Link) -> Option<f64> {
+    if interferer_head == link.head || interferer_head == link.tail {
+        None
+    } else {
+        Some(env.received_power_mw(interferer_head, link.tail))
+    }
+}
+
+/// Interference contribution of `interferer` (an ACK transmitter, i.e. a
+/// tail) towards `link`'s ACK receiver, with the same exclusion rule.
+#[inline]
+fn ack_term(env: &RadioEnvironment, interferer_tail: NodeId, link: Link) -> Option<f64> {
+    if interferer_tail == link.tail || interferer_tail == link.head {
+        None
+    } else {
+        Some(env.received_power_mw(interferer_tail, link.head))
+    }
+}
+
+impl<'a> SlotLedger<'a> {
+    /// Opens an empty ledger over the given environment.
+    pub fn new(env: &'a RadioEnvironment) -> Self {
+        Self {
+            env,
+            beta: env.config().sinr_threshold_linear(),
+            noise_mw: env.config().noise_floor_mw(),
+            links: Vec::new(),
+            data_signal: Vec::new(),
+            ack_signal: Vec::new(),
+            data_interference: Vec::new(),
+            ack_interference: Vec::new(),
+            endpoint_uses: vec![0; env.node_count()],
+            disjoint: true,
+        }
+    }
+
+    /// Builds a ledger containing `links`, assigned in the given order.
+    pub fn with_links(env: &'a RadioEnvironment, links: &[Link]) -> Self {
+        let mut ledger = Self::new(env);
+        for &link in links {
+            ledger.assign(link);
+        }
+        ledger
+    }
+
+    /// The environment this ledger prices interference against.
+    pub fn environment(&self) -> &'a RadioEnvironment {
+        self.env
+    }
+
+    /// The links assigned so far, in assignment order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of assigned links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether no link has been assigned yet.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Whether `link` is already assigned.
+    pub fn contains(&self, link: Link) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// Whether neither endpoint of `link` is used by an assigned link
+    /// (the half-duplex precondition for adding it).
+    pub fn endpoints_free(&self, link: Link) -> bool {
+        self.endpoint_uses[link.head.index()] == 0 && self.endpoint_uses[link.tail.index()] == 0
+    }
+
+    /// Whether `candidate` can join the slot: it must not be a self-link,
+    /// must not share an endpoint with any assigned link, its own two-way
+    /// handshake must survive the slot's accumulated interference, and its
+    /// interference must not push any assigned link below the SINR threshold.
+    ///
+    /// Equivalent to [`RadioEnvironment::can_add_to_slot`] on the assigned
+    /// link list, but O(k) instead of O(k²) and allocation-free.
+    pub fn can_add(&self, candidate: Link) -> bool {
+        if candidate.head == candidate.tail {
+            return false;
+        }
+        if !self.endpoints_free(candidate) {
+            return false;
+        }
+        // The candidate's own handshake against the accumulated slot.
+        let (cand_data_intf, cand_ack_intf) = self.interference_on(candidate);
+        if !self.meets_beta(
+            self.env.received_power_mw(candidate.head, candidate.tail),
+            cand_data_intf,
+        ) || !self.meets_beta(
+            self.env.received_power_mw(candidate.tail, candidate.head),
+            cand_ack_intf,
+        ) {
+            return false;
+        }
+        // Every assigned link's handshake with the candidate's contribution
+        // added on top of its cached interference sums.
+        for (i, &link) in self.links.iter().enumerate() {
+            let data_extra = data_term(self.env, candidate.head, link).unwrap_or(0.0);
+            let ack_extra = ack_term(self.env, candidate.tail, link).unwrap_or(0.0);
+            if !self.meets_beta(self.data_signal[i], self.data_interference[i] + data_extra)
+                || !self.meets_beta(self.ack_signal[i], self.ack_interference[i] + ack_extra)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Adds `link` to the slot, updating every cached interference sum in
+    /// O(k). The link is *not* required to pass [`can_add`](Self::can_add):
+    /// the greedy scheduler deliberately opens slots around links that are
+    /// infeasible even alone (the verifier reports them), and the
+    /// distributed runtime seals whatever its handshakes admitted.
+    pub fn assign(&mut self, link: Link) {
+        if link.head == link.tail || !self.endpoints_free(link) {
+            self.disjoint = false;
+        }
+        let (data_intf, ack_intf) = self.interference_on(link);
+        for (i, &existing) in self.links.iter().enumerate() {
+            if let Some(term) = data_term(self.env, link.head, existing) {
+                self.data_interference[i] += term;
+            }
+            if let Some(term) = ack_term(self.env, link.tail, existing) {
+                self.ack_interference[i] += term;
+            }
+        }
+        self.endpoint_uses[link.head.index()] += 1;
+        self.endpoint_uses[link.tail.index()] += 1;
+        self.links.push(link);
+        self.data_signal
+            .push(self.env.received_power_mw(link.head, link.tail));
+        self.ack_signal
+            .push(self.env.received_power_mw(link.tail, link.head));
+        self.data_interference.push(data_intf);
+        self.ack_interference.push(ack_intf);
+    }
+
+    /// Whether assigned link `i` currently completes both handshake
+    /// directions.
+    pub fn link_ok(&self, i: usize) -> bool {
+        self.meets_beta(self.data_signal[i], self.data_interference[i])
+            && self.meets_beta(self.ack_signal[i], self.ack_interference[i])
+    }
+
+    /// Whether every assigned link currently completes its handshake.
+    pub fn all_links_ok(&self) -> bool {
+        (0..self.links.len()).all(|i| self.link_ok(i))
+    }
+
+    /// Whether the assigned set is a feasible slot in the sense of
+    /// [`RadioEnvironment::slot_feasible`]: pairwise endpoint-disjoint, no
+    /// self-links, and every handshake above threshold.
+    pub fn slot_feasible(&self) -> bool {
+        self.disjoint && self.all_links_ok()
+    }
+
+    /// Prices a tentative active set against the slot without mutating it:
+    /// each tentative link's handshake is evaluated against the assigned
+    /// links *and* the other tentative links, and the assigned links are
+    /// re-checked under the tentative links' added interference, in
+    /// O((k + a) · a) work for `a` tentative links instead of the
+    /// O((k + a)²) of re-deriving every SINR from scratch.
+    ///
+    /// This is a *pure SINR* check mirroring
+    /// [`RadioEnvironment::handshake_ok`] exactly — which means it shares
+    /// that function's blind spot: a tentative link sharing an endpoint with
+    /// a slot link can "pass", because the interferer-exclusion rule skips
+    /// the shared node precisely when it is busy with its own packet.
+    /// Schedulers claiming slot membership must use
+    /// [`probe_claims`](Self::probe_claims), which adds the half-duplex
+    /// screen; this raw variant exists for analysis and for cross-checking
+    /// against the from-scratch handshake computation.
+    pub fn probe(&self, tentative: &[Link]) -> LedgerProbe {
+        // Assigned links: cached sums plus the tentative contributions.
+        let mut existing_ok = true;
+        for (i, &link) in self.links.iter().enumerate() {
+            let mut data = self.data_interference[i];
+            let mut ack = self.ack_interference[i];
+            for &t in tentative {
+                if let Some(term) = data_term(self.env, t.head, link) {
+                    data += term;
+                }
+                if let Some(term) = ack_term(self.env, t.tail, link) {
+                    ack += term;
+                }
+            }
+            if !self.meets_beta(self.data_signal[i], data)
+                || !self.meets_beta(self.ack_signal[i], ack)
+            {
+                existing_ok = false;
+                break;
+            }
+        }
+        // Tentative links: ledger interference plus the other tentatives'.
+        let tentative_ok = tentative
+            .iter()
+            .map(|&t| {
+                let (mut data, mut ack) = self.interference_on(t);
+                for &other in tentative {
+                    if other == t {
+                        continue;
+                    }
+                    if let Some(term) = data_term(self.env, other.head, t) {
+                        data += term;
+                    }
+                    if let Some(term) = ack_term(self.env, other.tail, t) {
+                        ack += term;
+                    }
+                }
+                self.meets_beta(self.env.received_power_mw(t.head, t.tail), data)
+                    && self.meets_beta(self.env.received_power_mw(t.tail, t.head), ack)
+            })
+            .collect();
+        LedgerProbe {
+            existing_ok,
+            tentative_ok,
+        }
+    }
+
+    /// The slot-claim check: [`probe`](Self::probe) plus the half-duplex
+    /// screen. A tentative link additionally fails if it is a self-link,
+    /// touches a node already transmitting or receiving in the slot, or
+    /// shares an endpoint with another tentative link — a node cannot
+    /// complete a handshake on two links in the same slot, which the
+    /// per-direction SINR checks alone cannot see (the interferer-exclusion
+    /// rule skips a shared node exactly because it is busy with its own
+    /// packet).
+    ///
+    /// This is what the distributed runtime uses for its per-iteration
+    /// handshake + SCREAM-veto step; admitting claims through the raw
+    /// [`probe`](Self::probe) instead reintroduces endpoint-sharing chains
+    /// at low β that [`slot_feasible`](Self::slot_feasible) (and the
+    /// verifier) reject.
+    pub fn probe_claims(&self, tentative: &[Link]) -> LedgerProbe {
+        let mut result = self.probe(tentative);
+        for (idx, link) in tentative.iter().enumerate() {
+            let half_duplex_ok = link.head != link.tail
+                && self.endpoints_free(*link)
+                && tentative
+                    .iter()
+                    .enumerate()
+                    .all(|(other, l)| other == idx || !l.shares_endpoint(link));
+            result.tentative_ok[idx] &= half_duplex_ok;
+        }
+        result
+    }
+
+    /// Per-link SINR margins of the current slot, in dB relative to β.
+    pub fn margins(&self) -> Vec<LinkSinrMargin> {
+        let beta_db = self.env.config().sinr_threshold_db;
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, &link)| LinkSinrMargin {
+                link,
+                data_margin_db: 10.0
+                    * (self.data_signal[i] / (self.noise_mw + self.data_interference[i])).log10()
+                    - beta_db,
+                ack_margin_db: 10.0
+                    * (self.ack_signal[i] / (self.noise_mw + self.ack_interference[i])).log10()
+                    - beta_db,
+            })
+            .collect()
+    }
+
+    /// Accumulated (data, ACK) interference the current slot inflicts on
+    /// `link`, summed in assignment order.
+    fn interference_on(&self, link: Link) -> (f64, f64) {
+        let mut data = 0.0;
+        let mut ack = 0.0;
+        for &existing in &self.links {
+            if existing == link {
+                continue;
+            }
+            if let Some(term) = data_term(self.env, existing.head, link) {
+                data += term;
+            }
+            if let Some(term) = ack_term(self.env, existing.tail, link) {
+                ack += term;
+            }
+        }
+        (data, ack)
+    }
+
+    #[inline]
+    fn meets_beta(&self, signal_mw: f64, interference_mw: f64) -> bool {
+        signal_mw / (self.noise_mw + interference_mw) >= self.beta
+    }
+}
+
+impl RadioEnvironment {
+    /// Opens an empty [`SlotLedger`] over this environment — the incremental
+    /// equivalent of probing slots with
+    /// [`can_add_to_slot`](RadioEnvironment::can_add_to_slot).
+    pub fn open_slot_ledger(&self) -> SlotLedger<'_> {
+        SlotLedger::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::PropagationModel;
+    use scream_topology::{Deployment, GridDeployment, Point2, Rect};
+
+    fn line_env(count: usize, spacing: f64) -> RadioEnvironment {
+        let positions: Vec<Point2> = (0..count)
+            .map(|i| Point2::new(i as f64 * spacing, 0.0))
+            .collect();
+        let d = Deployment::from_positions(&positions, 20.0, Rect::square(spacing * count as f64))
+            .unwrap();
+        RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d)
+    }
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    #[test]
+    fn can_add_matches_from_scratch_on_a_line() {
+        let env = line_env(8, 200.0);
+        let mut ledger = env.open_slot_ledger();
+        let slot = [link(0, 1)];
+        ledger.assign(slot[0]);
+        for candidate in [link(6, 7), link(2, 3), link(1, 2), link(4, 4)] {
+            assert_eq!(
+                ledger.can_add(candidate),
+                env.can_add_to_slot(&slot, candidate),
+                "divergence for candidate {candidate}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_assign_matches_slot_feasible() {
+        let env = line_env(10, 220.0);
+        let links = [link(0, 1), link(4, 5), link(8, 9)];
+        let ledger = SlotLedger::with_links(&env, &links);
+        assert_eq!(ledger.slot_feasible(), env.slot_feasible(&links));
+        assert_eq!(ledger.len(), 3);
+        assert!(ledger.contains(link(4, 5)));
+        assert!(!ledger.is_empty());
+    }
+
+    #[test]
+    fn shared_endpoints_are_rejected_by_can_add_and_tracked_by_assign() {
+        let env = line_env(6, 150.0);
+        let mut ledger = env.open_slot_ledger();
+        ledger.assign(link(0, 1));
+        assert!(
+            !ledger.can_add(link(1, 2)),
+            "shared endpoint must be rejected"
+        );
+        assert!(!ledger.endpoints_free(link(1, 2)));
+        // Force-assigning it anyway marks the slot non-disjoint.
+        ledger.assign(link(1, 2));
+        assert!(!ledger.slot_feasible());
+    }
+
+    #[test]
+    fn self_links_are_rejected() {
+        let env = line_env(4, 150.0);
+        let mut ledger = env.open_slot_ledger();
+        assert!(!ledger.can_add(link(2, 2)));
+        ledger.assign(link(2, 2));
+        assert!(!ledger.slot_feasible());
+    }
+
+    #[test]
+    fn solo_infeasible_link_fails_even_in_an_empty_slot() {
+        // Two nodes 100 km apart: not decodable even without interference.
+        let env = line_env(2, 100_000.0);
+        let ledger = env.open_slot_ledger();
+        assert!(!ledger.can_add(link(0, 1)));
+        let forced = SlotLedger::with_links(&env, &[link(0, 1)]);
+        assert!(!forced.all_links_ok());
+        let margins = forced.margins();
+        assert_eq!(margins.len(), 1);
+        assert!(margins[0].data_margin_db < 0.0);
+        assert!(!margins[0].ok());
+    }
+
+    #[test]
+    fn probe_matches_handshake_ok_for_each_participant() {
+        let env = line_env(12, 180.0);
+        let assigned = [link(0, 1), link(6, 7)];
+        let ledger = SlotLedger::with_links(&env, &assigned);
+        let tentative = [link(3, 4), link(10, 11)];
+        let probe = ledger.probe(&tentative);
+
+        let participants: Vec<Link> = assigned.iter().chain(tentative.iter()).copied().collect();
+        let expected_existing = assigned.iter().all(|&l| env.handshake_ok(l, &participants));
+        let expected_tentative: Vec<bool> = tentative
+            .iter()
+            .map(|&l| env.handshake_ok(l, &participants))
+            .collect();
+        assert_eq!(probe.existing_ok, expected_existing);
+        assert_eq!(probe.tentative_ok, expected_tentative);
+    }
+
+    #[test]
+    fn probe_claims_screens_half_duplex_conflicts_raw_probe_does_not() {
+        // Chain 2 -> 1 -> 0 at a low SINR threshold: the exclusion rule skips
+        // the shared node 1 in both handshake directions, so the raw probe
+        // passes the claim — exactly the blind spot probe_claims closes.
+        let positions: Vec<Point2> = (0..6).map(|i| Point2::new(i as f64 * 150.0, 0.0)).collect();
+        let d = Deployment::from_positions(&positions, 20.0, Rect::square(900.0)).unwrap();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(crate::radio::RadioConfig::mesh_default().with_sinr_threshold_db(6.0))
+            .build(&d);
+        let ledger = SlotLedger::with_links(&env, &[link(2, 1)]);
+        let chained = link(1, 0);
+        assert!(
+            ledger.probe(&[chained]).tentative_ok[0],
+            "raw SINR probe admits the chain"
+        );
+        assert!(
+            !ledger.probe_claims(&[chained]).tentative_ok[0],
+            "probe_claims must reject the endpoint-sharing claim"
+        );
+        // Tentative links sharing an endpoint with each other both fail.
+        let claims = ledger.probe_claims(&[link(4, 3), link(3, 5), link(3, 3)]);
+        assert!(!claims.tentative_ok[0]);
+        assert!(!claims.tentative_ok[1]);
+        assert!(!claims.tentative_ok[2], "self-link claims are screened too");
+        // A genuinely free claim still passes through probe_claims.
+        let free = ledger.probe_claims(&[link(4, 5)]);
+        assert!(free.tentative_ok[0]);
+        assert!(free.existing_ok);
+    }
+
+    #[test]
+    fn probe_with_empty_tentative_reports_current_slot_health() {
+        let env = line_env(8, 200.0);
+        let ledger = SlotLedger::with_links(&env, &[link(0, 1), link(6, 7)]);
+        let probe = ledger.probe(&[]);
+        assert!(probe.existing_ok);
+        assert!(probe.tentative_ok.is_empty());
+        assert_eq!(probe.existing_ok, ledger.all_links_ok());
+    }
+
+    #[test]
+    fn margins_are_positive_for_feasible_slots_and_displayable() {
+        let env = line_env(8, 200.0);
+        let ledger = SlotLedger::with_links(&env, &[link(0, 1), link(6, 7)]);
+        assert!(ledger.slot_feasible());
+        for margin in ledger.margins() {
+            assert!(margin.ok(), "{margin}");
+            assert!(margin.to_string().contains("dB"));
+        }
+    }
+
+    #[test]
+    fn grid_ledger_agrees_with_from_scratch_over_many_probes() {
+        let d = GridDeployment::new(6, 6, 170.0).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        // Horizontal links on alternating rows, added one by one; every probe
+        // must agree with the from-scratch computation on the same list.
+        let mut ledger = env.open_slot_ledger();
+        let mut assigned: Vec<Link> = Vec::new();
+        for row in 0..6u32 {
+            for col in (0..5u32).step_by(3) {
+                let candidate =
+                    Link::new(NodeId::new(row * 6 + col), NodeId::new(row * 6 + col + 1));
+                assert_eq!(
+                    ledger.can_add(candidate),
+                    env.can_add_to_slot(&assigned, candidate),
+                    "divergence adding {candidate} to {assigned:?}"
+                );
+                ledger.assign(candidate);
+                assigned.push(candidate);
+                assert_eq!(ledger.slot_feasible(), env.slot_feasible(&assigned));
+            }
+        }
+        assert_eq!(ledger.links(), assigned.as_slice());
+    }
+}

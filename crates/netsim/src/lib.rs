@@ -43,6 +43,7 @@ pub mod clock;
 pub mod des;
 pub mod environment;
 pub mod error;
+pub mod ledger;
 pub mod propagation;
 pub mod radio;
 pub mod timing;
@@ -52,6 +53,7 @@ pub use clock::{ClockModel, ClockSkewConfig};
 pub use des::{EventQueue, ScheduledEvent};
 pub use environment::{RadioEnvironment, RadioEnvironmentBuilder};
 pub use error::NetsimError;
+pub use ledger::{LedgerProbe, LinkSinrMargin, SlotLedger};
 pub use propagation::{PropagationModel, ShadowingField};
 pub use radio::RadioConfig;
 pub use timing::{ProtocolTiming, SlotTiming};
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use crate::des::{EventQueue, ScheduledEvent};
     pub use crate::environment::{RadioEnvironment, RadioEnvironmentBuilder};
     pub use crate::error::NetsimError;
+    pub use crate::ledger::{LedgerProbe, LinkSinrMargin, SlotLedger};
     pub use crate::propagation::{PropagationModel, ShadowingField};
     pub use crate::radio::RadioConfig;
     pub use crate::timing::{ProtocolTiming, SlotTiming};

@@ -8,8 +8,8 @@
 //! shadowing term on top of it.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Deterministic (distance-dependent) part of the path loss.
@@ -217,8 +217,14 @@ mod tests {
     #[test]
     fn path_loss_at_reference_distance_is_reference_loss() {
         let m = PropagationModel::paper_default();
-        assert_eq!(m.path_loss_db(1.0), PropagationModel::DEFAULT_REFERENCE_LOSS_DB);
-        assert_eq!(m.path_loss_db(0.1), PropagationModel::DEFAULT_REFERENCE_LOSS_DB);
+        assert_eq!(
+            m.path_loss_db(1.0),
+            PropagationModel::DEFAULT_REFERENCE_LOSS_DB
+        );
+        assert_eq!(
+            m.path_loss_db(0.1),
+            PropagationModel::DEFAULT_REFERENCE_LOSS_DB
+        );
     }
 
     #[test]
@@ -340,8 +346,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var =
-            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "variance {var}");
     }

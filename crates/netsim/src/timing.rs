@@ -152,11 +152,7 @@ mod tests {
     fn derived_slots_scale_with_clock_skew() {
         let radio = RadioConfig::mesh_default();
         let tight = SlotTiming::derive(&radio, 15, ClockSkewConfig::gps());
-        let loose = SlotTiming::derive(
-            &radio,
-            15,
-            ClockSkewConfig::new(SimTime::from_millis(10)),
-        );
+        let loose = SlotTiming::derive(&radio, 15, ClockSkewConfig::new(SimTime::from_millis(10)));
         assert!(loose.scream_slot > tight.scream_slot);
         assert!(loose.handshake_slot > tight.handshake_slot);
         assert!(loose.sync_overhead > tight.sync_overhead);

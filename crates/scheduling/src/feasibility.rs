@@ -1,19 +1,70 @@
 //! Abstraction over interference models for slot-feasibility checks.
 //!
-//! The schedulers only need to ask two questions: "is this set of links
-//! feasible in one slot?" and "can this link be added to that set?". The
-//! [`SlotFeasibility`] trait captures them, with two implementations:
+//! The schedulers ask three questions: "is this set of links feasible in one
+//! slot?", "can this link be added to that set?", and — on the hot path —
+//! "let me build a slot incrementally, probing candidates as I go". The
+//! [`SlotFeasibility`] trait captures all three; the stateful
+//! [`SlotAccumulator`] returned by [`open_slot`](SlotFeasibility::open_slot)
+//! is what makes the third one cheap.
+//!
+//! Two implementations are provided:
 //!
 //! * [`RadioEnvironment`](scream_netsim::RadioEnvironment) — the physical
-//!   (SINR) interference model of Section II, the paper's subject;
+//!   (SINR) interference model of Section II, the paper's subject. Its
+//!   accumulator is the [`SlotLedger`](scream_netsim::SlotLedger): O(k)
+//!   probes against cached per-receiver interference sums instead of the
+//!   O(k²) from-scratch recomputation;
 //! * [`ProtocolModel`] — the conservative protocol interference model that
 //!   CSMA/CA-style scheduling corresponds to, provided as the comparison
-//!   baseline the paper's introduction argues against.
-
-use serde::{Deserialize, Serialize};
+//!   baseline the paper's introduction argues against. It precomputes the
+//!   all-pairs hop-distance matrix of its graph once, so its pairwise
+//!   conflict test is an O(1) table lookup and its accumulator probes in
+//!   O(k).
+//!
+//! Any other implementation gets a correct [`SlotAccumulator`] for free: the
+//! provided `open_slot` keeps the link list and re-checks candidates with
+//! [`can_add`](SlotFeasibility::can_add). Implementations must be
+//! *downward-closed* (every subset of a feasible set is feasible) for
+//! incremental building to coincide with whole-set feasibility; interference
+//! models are, since removing a transmitter can only reduce interference.
 
 use scream_netsim::RadioEnvironment;
-use scream_topology::{Graph, Link};
+pub use scream_netsim::{LinkSinrMargin, SlotLedger};
+use scream_topology::{Graph, Link, NodeId};
+
+/// Stateful, incrementally-built view of one slot under construction.
+///
+/// Obtained from [`SlotFeasibility::open_slot`]; the schedulers keep one
+/// accumulator per open slot so that every feasibility probe is answered
+/// from accumulated state instead of re-deriving it from the link list.
+pub trait SlotAccumulator {
+    /// Whether `candidate` can join the slot without breaking feasibility.
+    fn can_add(&self, candidate: Link) -> bool;
+
+    /// Adds `link` to the slot unconditionally, updating internal state.
+    /// (The greedy scheduler opens slots around links that are infeasible
+    /// even alone, so `assign` must not require a prior passing
+    /// [`can_add`](Self::can_add).)
+    fn assign(&mut self, link: Link);
+
+    /// The links assigned so far, in assignment order.
+    fn links(&self) -> &[Link];
+
+    /// Number of links assigned so far.
+    fn len(&self) -> usize {
+        self.links().len()
+    }
+
+    /// Whether the slot is still empty.
+    fn is_empty(&self) -> bool {
+        self.links().is_empty()
+    }
+
+    /// Whether `link` has already been assigned to this slot.
+    fn contains(&self, link: Link) -> bool {
+        self.links().contains(&link)
+    }
+}
 
 /// Interference-model interface used by the schedulers.
 pub trait SlotFeasibility {
@@ -29,6 +80,68 @@ pub trait SlotFeasibility {
         all.push(candidate);
         self.slot_feasible(&all)
     }
+
+    /// Opens a stateful accumulator for building one slot incrementally.
+    ///
+    /// The default keeps the link list and answers probes through
+    /// [`can_add`](Self::can_add) (correct for any model, from-scratch
+    /// cost); models with additive structure override it with an O(k)
+    /// accumulator.
+    fn open_slot(&self) -> Box<dyn SlotAccumulator + '_> {
+        Box::new(RecheckAccumulator {
+            model: self,
+            links: Vec::new(),
+        })
+    }
+
+    /// Per-link SINR margins of the given slot, in dB relative to the
+    /// model's threshold, for diagnostics. Models without a notion of SINR
+    /// (e.g. graph-based protocol models) return an empty vector.
+    fn slot_margins(&self, _links: &[Link]) -> Vec<LinkSinrMargin> {
+        Vec::new()
+    }
+}
+
+/// The fallback accumulator behind the default
+/// [`SlotFeasibility::open_slot`]: keeps the link list, probes through the
+/// model's `can_add`.
+struct RecheckAccumulator<'a, M: SlotFeasibility + ?Sized> {
+    model: &'a M,
+    links: Vec<Link>,
+}
+
+impl<M: SlotFeasibility + ?Sized> SlotAccumulator for RecheckAccumulator<'_, M> {
+    fn can_add(&self, candidate: Link) -> bool {
+        self.model.can_add(&self.links, candidate)
+    }
+
+    fn assign(&mut self, link: Link) {
+        self.links.push(link);
+    }
+
+    fn links(&self) -> &[Link] {
+        &self.links
+    }
+}
+
+/// Adapter exposing the netsim [`SlotLedger`] through the accumulator
+/// interface.
+struct LedgerAccumulator<'a> {
+    ledger: SlotLedger<'a>,
+}
+
+impl SlotAccumulator for LedgerAccumulator<'_> {
+    fn can_add(&self, candidate: Link) -> bool {
+        self.ledger.can_add(candidate)
+    }
+
+    fn assign(&mut self, link: Link) {
+        self.ledger.assign(link);
+    }
+
+    fn links(&self) -> &[Link] {
+        self.ledger.links()
+    }
 }
 
 impl SlotFeasibility for RadioEnvironment {
@@ -39,10 +152,21 @@ impl SlotFeasibility for RadioEnvironment {
     fn can_add(&self, existing: &[Link], candidate: Link) -> bool {
         self.can_add_to_slot(existing, candidate)
     }
+
+    fn open_slot(&self) -> Box<dyn SlotAccumulator + '_> {
+        Box::new(LedgerAccumulator {
+            ledger: self.open_slot_ledger(),
+        })
+    }
+
+    fn slot_margins(&self, links: &[Link]) -> Vec<LinkSinrMargin> {
+        SlotLedger::with_links(self, links).margins()
+    }
 }
 
 /// Blanket implementation so shared references can be passed where an owner
-/// is expected.
+/// is expected. Forwards every method, so a `&RadioEnvironment` still gets
+/// the ledger-backed accumulator.
 impl<T: SlotFeasibility + ?Sized> SlotFeasibility for &T {
     fn slot_feasible(&self, links: &[Link]) -> bool {
         (**self).slot_feasible(links)
@@ -51,6 +175,38 @@ impl<T: SlotFeasibility + ?Sized> SlotFeasibility for &T {
     fn can_add(&self, existing: &[Link], candidate: Link) -> bool {
         (**self).can_add(existing, candidate)
     }
+
+    fn open_slot(&self) -> Box<dyn SlotAccumulator + '_> {
+        (**self).open_slot()
+    }
+
+    fn slot_margins(&self, links: &[Link]) -> Vec<LinkSinrMargin> {
+        (**self).slot_margins(links)
+    }
+}
+
+/// Wrapper that deliberately bypasses a model's incremental accumulator,
+/// forcing the provided from-scratch fallback paths of [`SlotFeasibility`].
+///
+/// `FromScratch(&env)` behaves exactly like `&env` decision-for-decision but
+/// answers every probe by re-checking the whole slot, the way the schedulers
+/// worked before the interference ledger existed. It exists so benches (see
+/// `crates/bench/benches/feasibility.rs` and the `schedule_*` benches) can
+/// report the ledger's speedup against the original implementation, and so
+/// tests can cross-check the two paths.
+pub struct FromScratch<M>(pub M);
+
+impl<M: SlotFeasibility> SlotFeasibility for FromScratch<M> {
+    fn slot_feasible(&self, links: &[Link]) -> bool {
+        self.0.slot_feasible(links)
+    }
+
+    fn can_add(&self, existing: &[Link], candidate: Link) -> bool {
+        self.0.can_add(existing, candidate)
+    }
+
+    // `open_slot` and `slot_margins` intentionally not forwarded: the
+    // defaults re-check through `can_add`, which is the point.
 }
 
 /// The protocol interference model: a communication from `u` to `v` succeeds
@@ -63,14 +219,28 @@ impl<T: SlotFeasibility + ?Sized> SlotFeasibility for &T {
 /// model in dense regions (it silences nodes whose aggregate interference
 /// would actually be tolerable) which is exactly the capacity argument the
 /// paper's introduction makes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Construction precomputes the all-pairs hop-distance matrix of the graph
+/// (one BFS per node), so every pairwise conflict test afterwards is an O(1)
+/// lookup instead of a fresh BFS.
+///
+/// Deliberately *not* serde-derived: the hop matrix is O(n²) state derivable
+/// from the graph, and deserializing it would mean trusting (and shipping)
+/// an invariant `new` exists to establish. Serialize the graph and range and
+/// rebuild with [`ProtocolModel::new`] instead.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolModel {
     graph: Graph,
     interference_range_hops: usize,
+    /// Row-major `n × n` hop distances; `u32::MAX` encodes "unreachable".
+    hop_matrix: Vec<u32>,
 }
 
+const UNREACHABLE: u32 = u32::MAX;
+
 impl ProtocolModel {
-    /// Creates a protocol-model checker over the given communication graph.
+    /// Creates a protocol-model checker over the given communication graph,
+    /// precomputing its hop-distance matrix.
     ///
     /// # Panics
     ///
@@ -80,9 +250,20 @@ impl ProtocolModel {
             interference_range_hops > 0,
             "interference range must be at least one hop"
         );
+        let n = graph.node_count();
+        let mut hop_matrix = vec![UNREACHABLE; n * n];
+        for source in 0..n {
+            let distances = graph.bfs_distances(NodeId::new(source as u32));
+            for (target, &d) in distances.iter().enumerate() {
+                if d != usize::MAX {
+                    hop_matrix[source * n + target] = d as u32;
+                }
+            }
+        }
         Self {
             graph,
             interference_range_hops,
+            hop_matrix,
         }
     }
 
@@ -91,10 +272,30 @@ impl ProtocolModel {
         self.interference_range_hops
     }
 
-    fn within_interference_range(&self, a: scream_topology::NodeId, b: scream_topology::NodeId) -> bool {
-        self.graph
-            .hop_distance(a, b)
+    /// Precomputed hop distance between two nodes, or `None` when they are
+    /// disconnected. Equivalent to `graph.hop_distance(a, b)` at O(1) cost.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let n = self.graph.node_count();
+        match self.hop_matrix[a.index() * n + b.index()] {
+            UNREACHABLE => None,
+            d => Some(d as usize),
+        }
+    }
+
+    fn within_interference_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.hop_distance(a, b)
             .is_some_and(|d| d <= self.interference_range_hops)
+    }
+
+    /// Whether two links cannot share a slot under this model: they share an
+    /// endpoint, or a transmitter of one is within interference range of a
+    /// receiver of the other (both data and ACK directions considered).
+    pub fn links_conflict(&self, a: Link, b: Link) -> bool {
+        a.shares_endpoint(&b)
+            || self.within_interference_range(a.head, b.tail)
+            || self.within_interference_range(b.head, a.tail)
+            || self.within_interference_range(a.tail, b.head)
+            || self.within_interference_range(b.tail, a.head)
     }
 }
 
@@ -105,24 +306,26 @@ impl SlotFeasibility for ProtocolModel {
                 return false;
             }
             for b in links.iter().skip(i + 1) {
-                if a.shares_endpoint(b) {
-                    return false;
-                }
-                // Under the protocol model the transmitter of one link must
-                // not be within interference range of the other link's
-                // receiver (and vice versa). Both data and ACK directions are
-                // considered, so all four endpoint pairs are checked.
-                let conflict = self.within_interference_range(a.head, b.tail)
-                    || self.within_interference_range(b.head, a.tail)
-                    || self.within_interference_range(a.tail, b.head)
-                    || self.within_interference_range(b.tail, a.head);
-                if conflict {
+                if self.links_conflict(*a, *b) {
                     return false;
                 }
             }
         }
         true
     }
+
+    fn can_add(&self, existing: &[Link], candidate: Link) -> bool {
+        if candidate.head == candidate.tail {
+            return false;
+        }
+        existing
+            .iter()
+            .all(|&link| !self.links_conflict(link, candidate))
+    }
+
+    // No `open_slot` override: the default accumulator probes through the
+    // O(k) `can_add` above, which is already the cheapest possible check for
+    // a pairwise model.
 }
 
 #[cfg(test)]
@@ -169,6 +372,44 @@ mod tests {
     }
 
     #[test]
+    fn hop_matrix_matches_per_query_bfs() {
+        let graph = line_graph(7);
+        let m = ProtocolModel::new(graph.clone(), 2);
+        for a in 0..7u32 {
+            for b in 0..7u32 {
+                assert_eq!(
+                    m.hop_distance(NodeId::new(a), NodeId::new(b)),
+                    graph.hop_distance(NodeId::new(a), NodeId::new(b)),
+                    "hop matrix diverges for ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_accumulator_agrees_with_whole_set_checks() {
+        let m = ProtocolModel::new(line_graph(12), 1);
+        let mut acc = m.open_slot();
+        let mut assigned: Vec<Link> = Vec::new();
+        for candidate in [link(1, 0), link(3, 2), link(5, 4), link(11, 10), link(2, 2)] {
+            let mut with_candidate = assigned.clone();
+            with_candidate.push(candidate);
+            assert_eq!(
+                acc.can_add(candidate),
+                m.slot_feasible(&with_candidate),
+                "accumulator diverges adding {candidate}"
+            );
+            if acc.can_add(candidate) {
+                acc.assign(candidate);
+                assigned.push(candidate);
+            }
+        }
+        assert_eq!(acc.links(), assigned.as_slice());
+        assert!(!acc.is_empty());
+        assert!(acc.contains(link(1, 0)));
+    }
+
+    #[test]
     fn radio_environment_implements_the_trait() {
         let d = GridDeployment::new(8, 1, 200.0).build();
         let env = scream_netsim::RadioEnvironment::builder()
@@ -186,6 +427,43 @@ mod tests {
     }
 
     #[test]
+    fn environment_accumulator_is_ledger_backed_and_agrees_with_can_add() {
+        let d = GridDeployment::new(10, 1, 200.0).build();
+        let env = scream_netsim::RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let mut acc = SlotFeasibility::open_slot(&env);
+        let mut assigned: Vec<Link> = Vec::new();
+        for candidate in [link(0, 1), link(4, 5), link(2, 3), link(8, 9)] {
+            assert_eq!(
+                acc.can_add(candidate),
+                env.can_add_to_slot(&assigned, candidate),
+                "ledger accumulator diverges adding {candidate}"
+            );
+            if acc.can_add(candidate) {
+                acc.assign(candidate);
+                assigned.push(candidate);
+            }
+        }
+        assert_eq!(acc.links(), assigned.as_slice());
+    }
+
+    #[test]
+    fn environment_reports_margins_and_protocol_model_does_not() {
+        let d = GridDeployment::new(8, 1, 200.0).build();
+        let env = scream_netsim::RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let slot = [link(1, 0), link(7, 6)];
+        let margins = SlotFeasibility::slot_margins(&env, &slot);
+        assert_eq!(margins.len(), 2);
+        assert!(margins.iter().all(LinkSinrMargin::ok));
+
+        let m = ProtocolModel::new(line_graph(8), 1);
+        assert!(m.slot_margins(&slot).is_empty());
+    }
+
+    #[test]
     fn reference_blanket_impl_delegates() {
         let m = ProtocolModel::new(line_graph(8), 1);
         let by_ref: &ProtocolModel = &m;
@@ -193,6 +471,9 @@ mod tests {
             SlotFeasibility::slot_feasible(&by_ref, &[link(1, 0), link(5, 4)]),
             m.slot_feasible(&[link(1, 0), link(5, 4)])
         );
+        // The forwarded accumulator still short-circuits pairwise.
+        let acc = SlotFeasibility::open_slot(&by_ref);
+        assert!(acc.can_add(link(1, 0)));
     }
 
     #[test]

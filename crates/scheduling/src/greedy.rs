@@ -44,10 +44,10 @@ impl EdgeOrdering {
     pub fn sort(&self, edges: &mut [(Link, u64)]) {
         match self {
             EdgeOrdering::DecreasingHeadId => {
-                edges.sort_by(|a, b| b.0.head.cmp(&a.0.head));
+                edges.sort_by_key(|e| std::cmp::Reverse(e.0.head));
             }
             EdgeOrdering::IncreasingHeadId => {
-                edges.sort_by(|a, b| a.0.head.cmp(&b.0.head));
+                edges.sort_by_key(|a| a.0.head);
             }
             EdgeOrdering::DecreasingDemand => {
                 edges.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.head.cmp(&a.0.head)));
@@ -90,29 +90,41 @@ impl GreedyPhysical {
     /// demanded link `e`, and every slot is feasible under `model` (both
     /// properties are checked by `verify_schedule` in this crate's tests and
     /// the integration tests).
+    ///
+    /// The first-fit loop keeps one stateful
+    /// [`SlotAccumulator`](crate::feasibility::SlotAccumulator) per open
+    /// slot, so a probe against a slot of `k` links costs O(k) under the
+    /// physical model (the interference-ledger accumulator) instead of the
+    /// O(k²) from-scratch re-check — and no per-probe slot cloning happens
+    /// anywhere.
     pub fn schedule<M: SlotFeasibility>(&self, model: &M, demands: &LinkDemands) -> Schedule {
         let mut edges: Vec<(Link, u64)> = demands.demanded_links().collect();
         self.ordering.sort(&mut edges);
 
         let mut schedule = Schedule::new();
+        let mut open_slots = Vec::new();
         for (link, demand) in edges {
             let mut remaining = demand;
             let mut slot = 0usize;
             while remaining > 0 {
-                if slot == schedule.length() {
+                if slot == open_slots.len() {
                     // No existing slot accepted this transmission: open a new
                     // one. A single link alone is always feasible if the link
                     // is usable at all; if even the solo slot is infeasible
                     // (link out of range under `model`) we still allocate it
                     // so the demand accounting stays consistent — the
                     // verifier will flag the infeasibility explicitly.
+                    let mut accumulator = model.open_slot();
+                    accumulator.assign(link);
+                    open_slots.push(accumulator);
                     schedule.push_slot(vec![link]);
                     remaining -= 1;
                     slot += 1;
                     continue;
                 }
-                let existing = schedule.slot(slot);
-                if !existing.contains(&link) && model.can_add(existing, link) {
+                let accumulator = &mut open_slots[slot];
+                if !accumulator.contains(link) && accumulator.can_add(link) {
+                    accumulator.assign(link);
                     schedule.assign(slot, link);
                     remaining -= 1;
                 }
@@ -156,11 +168,7 @@ mod tests {
         }
     }
 
-    fn grid_instance(
-        side: usize,
-        step: f64,
-        seed: u64,
-    ) -> (RadioEnvironment, LinkDemands) {
+    fn grid_instance(side: usize, step: f64, seed: u64) -> (RadioEnvironment, LinkDemands) {
         let d: Deployment = GridDeployment::new(side, side, step).build();
         let env = RadioEnvironment::builder()
             .propagation(PropagationModel::log_distance(3.0))
@@ -178,9 +186,15 @@ mod tests {
     fn ordering_sorts_as_documented() {
         let mut edges = vec![(link(2, 0), 5), (link(7, 0), 1), (link(4, 0), 3)];
         EdgeOrdering::DecreasingHeadId.sort(&mut edges);
-        assert_eq!(edges.iter().map(|e| e.0.head.0).collect::<Vec<_>>(), vec![7, 4, 2]);
+        assert_eq!(
+            edges.iter().map(|e| e.0.head.0).collect::<Vec<_>>(),
+            vec![7, 4, 2]
+        );
         EdgeOrdering::IncreasingHeadId.sort(&mut edges);
-        assert_eq!(edges.iter().map(|e| e.0.head.0).collect::<Vec<_>>(), vec![2, 4, 7]);
+        assert_eq!(
+            edges.iter().map(|e| e.0.head.0).collect::<Vec<_>>(),
+            vec![2, 4, 7]
+        );
         EdgeOrdering::DecreasingDemand.sort(&mut edges);
         assert_eq!(edges.iter().map(|e| e.1).collect::<Vec<_>>(), vec![5, 3, 1]);
         EdgeOrdering::IncreasingDemand.sort(&mut edges);
@@ -189,8 +203,7 @@ mod tests {
 
     #[test]
     fn single_link_demand_fills_exactly_that_many_slots() {
-        let demands =
-            LinkDemands::from_links(3, &[(link(1, 0), 4)]).unwrap();
+        let demands = LinkDemands::from_links(3, &[(link(1, 0), 4)]).unwrap();
         let schedule = GreedyPhysical::paper_baseline().schedule(&EndpointOnly, &demands);
         assert_eq!(schedule.length(), 4);
         assert_eq!(schedule.allocated_to(link(1, 0)), 4);
@@ -199,8 +212,7 @@ mod tests {
     #[test]
     fn independent_links_share_slots() {
         // Two endpoint-disjoint links with equal demand pack perfectly.
-        let demands =
-            LinkDemands::from_links(4, &[(link(1, 0), 3), (link(3, 2), 3)]).unwrap();
+        let demands = LinkDemands::from_links(4, &[(link(1, 0), 3), (link(3, 2), 3)]).unwrap();
         let schedule = GreedyPhysical::paper_baseline().schedule(&EndpointOnly, &demands);
         assert_eq!(schedule.length(), 3);
         assert!((schedule.spatial_reuse() - 2.0).abs() < 1e-12);
@@ -209,8 +221,7 @@ mod tests {
     #[test]
     fn conflicting_links_are_serialized() {
         // Links sharing node 1 can never coexist.
-        let demands =
-            LinkDemands::from_links(3, &[(link(1, 0), 2), (link(2, 1), 2)]).unwrap();
+        let demands = LinkDemands::from_links(3, &[(link(1, 0), 2), (link(2, 1), 2)]).unwrap();
         let schedule = GreedyPhysical::paper_baseline().schedule(&EndpointOnly, &demands);
         assert_eq!(schedule.length(), 4);
         verify_schedule(&EndpointOnly, &schedule, &demands).unwrap();
@@ -225,6 +236,19 @@ mod tests {
         assert!(schedule.length() <= ld.total_demand() as usize);
         // And with 25 nodes spread over 800x800 m there must be some reuse.
         assert!(schedule.spatial_reuse() > 1.0);
+    }
+
+    #[test]
+    fn ledger_backed_schedule_equals_from_scratch_schedule() {
+        // The incremental accumulator must make the exact same first-fit
+        // decisions as the original re-check-everything implementation.
+        for seed in [1u64, 3, 9] {
+            let (env, ld) = grid_instance(5, 180.0, seed);
+            let ledger_backed = GreedyPhysical::paper_baseline().schedule(&env, &ld);
+            let from_scratch = GreedyPhysical::paper_baseline()
+                .schedule(&crate::feasibility::FromScratch(&env), &ld);
+            assert_eq!(ledger_backed, from_scratch, "divergence for seed {seed}");
+        }
     }
 
     #[test]
@@ -273,8 +297,7 @@ mod tests {
         let physical = GreedyPhysical::paper_baseline().schedule(&env, &ld);
         verify_schedule(&env, &physical, &ld).unwrap();
 
-        let protocol_model =
-            ProtocolModel::new(UnitDiskGraphBuilder::new(260.0).build(&d), 2);
+        let protocol_model = ProtocolModel::new(UnitDiskGraphBuilder::new(260.0).build(&d), 2);
         let protocol = GreedyPhysical::paper_baseline().schedule(&protocol_model, &ld);
         verify_schedule(&protocol_model, &protocol, &ld).unwrap();
         let sinr_violations = protocol

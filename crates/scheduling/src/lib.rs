@@ -49,7 +49,9 @@ pub mod metrics;
 pub mod schedule;
 pub mod verify;
 
-pub use feasibility::{ProtocolModel, SlotFeasibility};
+pub use feasibility::{
+    FromScratch, LinkSinrMargin, ProtocolModel, SlotAccumulator, SlotFeasibility,
+};
 pub use greedy::{EdgeOrdering, GreedyPhysical};
 pub use linear::serialized_schedule;
 pub use metrics::ScheduleMetrics;
@@ -58,7 +60,9 @@ pub use verify::{verify_schedule, ScheduleViolation};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
-    pub use crate::feasibility::{ProtocolModel, SlotFeasibility};
+    pub use crate::feasibility::{
+        FromScratch, LinkSinrMargin, ProtocolModel, SlotAccumulator, SlotFeasibility,
+    };
     pub use crate::greedy::{EdgeOrdering, GreedyPhysical};
     pub use crate::linear::serialized_schedule;
     pub use crate::metrics::ScheduleMetrics;

@@ -247,7 +247,12 @@ mod tests {
         s.push_slot(vec![link(1, 0)]);
         assert_eq!(
             s.participating_nodes(),
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
     }
 

@@ -4,14 +4,21 @@
 //! single verifier, which re-checks every slot against the interference model
 //! and every link against its demand. The distributed protocols never get to
 //! "grade their own homework".
+//!
+//! Slots are re-built link by link through the model's stateful
+//! [`SlotAccumulator`](crate::feasibility::SlotAccumulator), so verification
+//! of a slot with `k` links costs O(k²) additions under the physical model
+//! (k probes of O(k) each) with no intermediate `Vec` cloning, and an
+//! infeasible slot is reported together with every link's SINR margin so the
+//! failing handshake direction is visible in the error itself.
 
 use scream_topology::{Link, LinkDemands};
 
-use crate::feasibility::SlotFeasibility;
+use crate::feasibility::{LinkSinrMargin, SlotFeasibility};
 use crate::schedule::Schedule;
 
 /// Ways a schedule can fail verification.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ScheduleViolation {
     /// A slot's link set is not feasible under the interference model.
@@ -20,6 +27,10 @@ pub enum ScheduleViolation {
         slot: usize,
         /// The links scheduled in that slot.
         links: Vec<Link>,
+        /// Per-link SINR margins relative to the model's threshold, when the
+        /// model can report them (empty for graph-based models). Negative
+        /// margins identify the failing links and directions.
+        margins: Vec<LinkSinrMargin>,
     },
     /// A link received a different number of slots than its demand.
     DemandMismatch {
@@ -42,9 +53,22 @@ pub enum ScheduleViolation {
 impl std::fmt::Display for ScheduleViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ScheduleViolation::InfeasibleSlot { slot, links } => {
+            ScheduleViolation::InfeasibleSlot {
+                slot,
+                links,
+                margins,
+            } => {
                 let links: Vec<String> = links.iter().map(|l| l.to_string()).collect();
-                write!(f, "slot {slot} is infeasible: [{}]", links.join(", "))
+                write!(f, "slot {slot} is infeasible: [{}]", links.join(", "))?;
+                let failing: Vec<String> = margins
+                    .iter()
+                    .filter(|m| !m.ok())
+                    .map(|m| m.to_string())
+                    .collect();
+                if !failing.is_empty() {
+                    write!(f, "; failing SINR margins: {}", failing.join("; "))?;
+                }
+                Ok(())
             }
             ScheduleViolation::DemandMismatch {
                 link,
@@ -55,13 +79,41 @@ impl std::fmt::Display for ScheduleViolation {
                 "link {link} allocated {allocated} slot(s) but its demand is {required}"
             ),
             ScheduleViolation::UnknownLink { link, slot } => {
-                write!(f, "link {link} (first seen in slot {slot}) is not a demanded link")
+                write!(
+                    f,
+                    "link {link} (first seen in slot {slot}) is not a demanded link"
+                )
             }
         }
     }
 }
 
 impl std::error::Error for ScheduleViolation {}
+
+/// Re-checks one slot through the model's accumulator, returning the
+/// violation (with margins) if the slot is infeasible.
+///
+/// Building incrementally is equivalent to checking the whole set because
+/// interference models are downward-closed — see the
+/// [`feasibility`](crate::feasibility) module docs.
+fn check_slot<M: SlotFeasibility>(
+    model: &M,
+    index: usize,
+    links: &[Link],
+) -> Result<(), ScheduleViolation> {
+    let mut accumulator = model.open_slot();
+    for &link in links {
+        if !accumulator.can_add(link) {
+            return Err(ScheduleViolation::InfeasibleSlot {
+                slot: index,
+                links: links.to_vec(),
+                margins: model.slot_margins(links),
+            });
+        }
+        accumulator.assign(link);
+    }
+    Ok(())
+}
 
 /// Verifies that `schedule` satisfies `demands` exactly and that every slot
 /// is feasible under `model`.
@@ -84,14 +136,7 @@ pub fn verify_schedule<M: SlotFeasibility>(
         }
     }
     // Every slot must be feasible.
-    for (t, slot) in schedule.slots().enumerate() {
-        if !slot.is_empty() && !model.slot_feasible(slot) {
-            return Err(ScheduleViolation::InfeasibleSlot {
-                slot: t,
-                links: slot.to_vec(),
-            });
-        }
-    }
+    verify_slots_feasible(model, schedule)?;
     // Every demanded link must get exactly its demand.
     for (link, required) in demands.demanded_links() {
         let allocated = schedule.allocated_to(link);
@@ -113,11 +158,8 @@ pub fn verify_slots_feasible<M: SlotFeasibility>(
     schedule: &Schedule,
 ) -> Result<(), ScheduleViolation> {
     for (t, slot) in schedule.slots().enumerate() {
-        if !slot.is_empty() && !model.slot_feasible(slot) {
-            return Err(ScheduleViolation::InfeasibleSlot {
-                slot: t,
-                links: slot.to_vec(),
-            });
+        if !slot.is_empty() {
+            check_slot(model, t, slot)?;
         }
     }
     Ok(())
@@ -126,7 +168,8 @@ pub fn verify_slots_feasible<M: SlotFeasibility>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scream_topology::NodeId;
+    use scream_netsim::{PropagationModel, RadioEnvironment};
+    use scream_topology::{GridDeployment, NodeId};
 
     fn link(a: u32, b: u32) -> Link {
         Link::new(NodeId::new(a), NodeId::new(b))
@@ -183,7 +226,10 @@ mod tests {
         s.push_slot(vec![link(1, 0)]);
         s.push_slot(vec![link(1, 0), link(3, 2)]);
         let err = verify_schedule(&EndpointOnly, &s, &demands()).unwrap_err();
-        assert!(matches!(err, ScheduleViolation::DemandMismatch { allocated: 3, .. }));
+        assert!(matches!(
+            err,
+            ScheduleViolation::DemandMismatch { allocated: 3, .. }
+        ));
     }
 
     #[test]
@@ -192,12 +238,51 @@ mod tests {
         s.push_slot(vec![link(1, 0), link(2, 1)]);
         let err = verify_slots_feasible(&EndpointOnly, &s).unwrap_err();
         match err {
-            ScheduleViolation::InfeasibleSlot { slot, links } => {
+            ScheduleViolation::InfeasibleSlot {
+                slot,
+                links,
+                margins,
+            } => {
                 assert_eq!(slot, 0);
                 assert_eq!(links.len(), 2);
+                // EndpointOnly has no SINR notion, so no margins.
+                assert!(margins.is_empty());
             }
             other => panic!("unexpected violation {other:?}"),
         }
+    }
+
+    #[test]
+    fn physical_model_violations_carry_sinr_margins() {
+        // Adjacent links on a 200 m line: the slot fails under SINR, and the
+        // error must identify the failing links by negative margins.
+        let d = GridDeployment::new(8, 1, 200.0).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(0, 1), link(2, 3)]);
+        let err = verify_slots_feasible(&env, &s).unwrap_err();
+        match err {
+            ScheduleViolation::InfeasibleSlot {
+                slot,
+                links,
+                margins,
+            } => {
+                assert_eq!(slot, 0);
+                assert_eq!(links.len(), 2);
+                assert_eq!(margins.len(), 2);
+                assert!(
+                    margins.iter().any(|m| !m.ok()),
+                    "at least one link must report a negative margin: {margins:?}"
+                );
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
+        // The rendered message names the failing margins.
+        let text = verify_slots_feasible(&env, &s).unwrap_err().to_string();
+        assert!(text.contains("failing SINR margins"), "{text}");
+        assert!(text.contains("dB"), "{text}");
     }
 
     #[test]
@@ -211,7 +296,13 @@ mod tests {
 
     #[test]
     fn empty_slots_are_tolerated_by_feasibility_check() {
-        let s = Schedule::from_slots(vec![vec![], vec![link(1, 0)], vec![], vec![link(1, 0)], vec![link(3, 2)]]);
+        let s = Schedule::from_slots(vec![
+            vec![],
+            vec![link(1, 0)],
+            vec![],
+            vec![link(1, 0)],
+            vec![link(3, 2)],
+        ]);
         verify_schedule(&EndpointOnly, &s, &demands()).unwrap();
     }
 

@@ -342,11 +342,7 @@ mod tests {
             if forest.is_gateway(v) {
                 continue;
             }
-            let children_sum: u64 = forest
-                .children(v)
-                .iter()
-                .map(|&c| agg.demand_of(c))
-                .sum();
+            let children_sum: u64 = forest.children(v).iter().map(|&c| agg.demand_of(c)).sum();
             assert_eq!(
                 agg.demand_of(v),
                 demands.demand(v) as u64 + children_sum,
@@ -395,7 +391,10 @@ mod tests {
         let ld = LinkDemands::from_links(4, &[(l1, 5), (l2, 2)]).unwrap();
         assert_eq!(ld.demand_of_link(l1), Some(5));
         assert_eq!(ld.demand_of_link(l2), Some(2));
-        assert_eq!(ld.demand_of_link(Link::new(NodeId::new(3), NodeId::new(0))), None);
+        assert_eq!(
+            ld.demand_of_link(Link::new(NodeId::new(3), NodeId::new(0))),
+            None
+        );
         assert_eq!(ld.total_demand(), 7);
         assert_eq!(ld.links().len(), 2);
     }

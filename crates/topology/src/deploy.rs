@@ -496,14 +496,22 @@ mod tests {
         // Region is the lattice bounding box, which is (side-1)^2 steps, so the
         // realized density is a bit above target; it must be within 2x.
         let realized = d.density_per_km2();
-        assert!(realized >= 1000.0 && realized <= 2000.0, "density {realized}");
+        assert!((1000.0..=2000.0).contains(&realized), "density {realized}");
     }
 
     #[test]
     fn corner_nodes_of_grid_are_the_four_corners() {
         let d = GridDeployment::new(8, 8, 100.0).build();
         let corners = d.corner_nodes();
-        assert_eq!(corners, vec![NodeId::new(0), NodeId::new(7), NodeId::new(56), NodeId::new(63)]);
+        assert_eq!(
+            corners,
+            vec![
+                NodeId::new(0),
+                NodeId::new(7),
+                NodeId::new(56),
+                NodeId::new(63)
+            ]
+        );
     }
 
     #[test]
@@ -555,14 +563,18 @@ mod tests {
         assert!(powers.iter().all(|&p| (15.0..=25.0).contains(&p)));
         let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 1.0, "powers should actually vary, spread={}", max - min);
+        assert!(
+            max - min > 1.0,
+            "powers should actually vary, spread={}",
+            max - min
+        );
     }
 
     #[test]
     fn density_to_area_matches_definition() {
         let area = density_to_area_m2(64, 25_000.0);
-        let d = UniformDeployment::with_density(64, 25_000.0)
-            .build(&mut ChaCha8Rng::seed_from_u64(0));
+        let d =
+            UniformDeployment::with_density(64, 25_000.0).build(&mut ChaCha8Rng::seed_from_u64(0));
         assert!((d.region().area() - area).abs() < 1e-6);
         assert!((d.density_per_km2() - 25_000.0).abs() < 1.0);
     }
@@ -614,8 +626,8 @@ mod tests {
     #[test]
     fn from_nodes_rejects_non_contiguous_ids() {
         let nodes = vec![NodeInfo::new(NodeId::new(1), Point2::ORIGIN, 20.0)];
-        let err = Deployment::from_nodes(nodes, Rect::square(1.0), DeploymentKind::Custom)
-            .unwrap_err();
+        let err =
+            Deployment::from_nodes(nodes, Rect::square(1.0), DeploymentKind::Custom).unwrap_err();
         assert!(matches!(err, TopologyError::InvalidParameter(_)));
     }
 
@@ -637,6 +649,9 @@ mod tests {
     fn randomize_tx_power_changes_each_node_within_bounds() {
         let mut d = GridDeployment::new(4, 4, 100.0).build();
         d.randomize_tx_power(&mut ChaCha8Rng::seed_from_u64(5), 10.0, 30.0);
-        assert!(d.nodes().iter().all(|n| (10.0..=30.0).contains(&n.tx_power_dbm)));
+        assert!(d
+            .nodes()
+            .iter()
+            .all(|n| (10.0..=30.0).contains(&n.tx_power_dbm)));
     }
 }

@@ -118,13 +118,16 @@ impl Graph {
     /// Iterator over all edges. For undirected graphs each edge appears once,
     /// with the smaller id first.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adjacency.iter().enumerate().flat_map(move |(u, nbrs)| {
-            let u = NodeId::new(u as u32);
-            nbrs.iter()
-                .copied()
-                .filter(move |&v| self.kind == GraphKind::Directed || u < v)
-                .map(move |v| (u, v))
-        })
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(move |(u, nbrs)| {
+                let u = NodeId::new(u as u32);
+                nbrs.iter()
+                    .copied()
+                    .filter(move |&v| self.kind == GraphKind::Directed || u < v)
+                    .map(move |v| (u, v))
+            })
     }
 
     /// Average node degree, i.e. the *neighbor density* `ρ(G)` of
@@ -178,10 +181,7 @@ impl Graph {
             return true;
         }
         let start = NodeId::new(0);
-        let forward_ok = self
-            .bfs_distances(start)
-            .iter()
-            .all(|&d| d != usize::MAX);
+        let forward_ok = self.bfs_distances(start).iter().all(|&d| d != usize::MAX);
         if !forward_ok {
             return false;
         }
@@ -257,8 +257,7 @@ impl Graph {
             return false;
         }
         self.edges().all(|(u, v)| {
-            other.has_edge(u, v)
-                && (other.kind == GraphKind::Directed || other.has_edge(v, u))
+            other.has_edge(u, v) && (other.kind == GraphKind::Directed || other.has_edge(v, u))
         })
     }
 

@@ -50,8 +50,8 @@ pub use routing::{Link, RoutingForest};
 pub mod prelude {
     pub use crate::demand::{DemandConfig, DemandVector, LinkDemands};
     pub use crate::deploy::{
-        density_to_area_m2, Deployment, DeploymentKind, GridDeployment,
-        InfiniteDensityDeployment, UniformDeployment,
+        density_to_area_m2, Deployment, DeploymentKind, GridDeployment, InfiniteDensityDeployment,
+        UniformDeployment,
     };
     pub use crate::error::TopologyError;
     pub use crate::geometry::{Point2, Rect};

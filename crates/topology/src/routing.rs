@@ -299,7 +299,7 @@ mod tests {
     #[test]
     fn parent_is_always_one_hop_closer_to_gateway() {
         let (_, f) = grid_forest(5);
-        for v in (0..25).map(|i| NodeId::new(i)) {
+        for v in (0..25).map(NodeId::new) {
             if let Some(p) = f.parent(v) {
                 assert_eq!(f.depth(p) + 1, f.depth(v));
             }
@@ -381,7 +381,10 @@ mod tests {
     fn children_and_subtree_are_consistent() {
         let (_, f) = grid_forest(4);
         let total_children: usize = (0..16).map(|i| f.children(NodeId::new(i)).len()).sum();
-        assert_eq!(total_children, 15, "every non-gateway node is someone's child");
+        assert_eq!(
+            total_children, 15,
+            "every non-gateway node is someone's child"
+        );
     }
 
     #[test]
@@ -405,7 +408,10 @@ mod tests {
     fn errors_on_disconnected_graph() {
         let g = Graph::new(3, GraphKind::Undirected);
         let err = RoutingForest::shortest_path(&g, &[NodeId::new(0)], 0).unwrap_err();
-        assert!(matches!(err, TopologyError::Disconnected { unreachable: 2 }));
+        assert!(matches!(
+            err,
+            TopologyError::Disconnected { unreachable: 2 }
+        ));
     }
 
     #[test]

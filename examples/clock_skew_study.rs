@@ -24,7 +24,8 @@ fn build_instance(seed: u64) -> (RadioEnvironment, LinkDemands) {
     let gateways = deployment.corner_nodes();
     let forest = RoutingForest::shortest_path(&graph, &gateways, seed).expect("connected");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let demands = DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
+    let demands =
+        DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
     let link_demands = LinkDemands::aggregate(&forest, &demands).expect("sizes match");
     (env, link_demands)
 }
@@ -87,5 +88,7 @@ fn main() {
         println!("{:>12} slots  {:>10.2}", k, run.execution_secs());
     }
     println!();
-    println!("The schedule itself never changes with these knobs — only the time to compute it does.");
+    println!(
+        "The schedule itself never changes with these knobs — only the time to compute it does."
+    );
 }

@@ -44,7 +44,9 @@ fn improvement(schedule: &scream::scheduling::Schedule, demands: &LinkDemands) -
 }
 
 fn main() {
-    println!("64-node planned grid, 4 gateways, demand U[1,10], log-distance alpha=3 + 4 dB shadowing");
+    println!(
+        "64-node planned grid, 4 gateways, demand U[1,10], log-distance alpha=3 + 4 dB shadowing"
+    );
     println!(
         "{:>10}  {:>12}  {:>8}  {:>10}  {:>10}  {:>10}",
         "density", "Centralized", "FDD", "PDD p=0.2", "PDD p=0.6", "PDD p=0.8"

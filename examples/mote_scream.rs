@@ -18,7 +18,10 @@ fn main() {
         .with_scream_count(500)
         .with_seed(3);
     println!("SCREAM detection on the simulated Mica2 testbed (1 initiator, 6 relays, 1 monitor)");
-    println!("{:>14}  {:>10}  {:>15}", "scream (bytes)", "error (%)", "detection rate");
+    println!(
+        "{:>14}  {:>10}  {:>15}",
+        "scream (bytes)", "error (%)", "detection rate"
+    );
     for point in DetectionErrorPoint::sweep(base, &[2, 4, 6, 8, 10, 15, 20, 24, 32]) {
         println!(
             "{:>14}  {:>10.1}  {:>15.3}",
@@ -33,7 +36,9 @@ fn main() {
     // Figure 5: moving-average RSSI trace for 24-byte SCREAMs.
     let result = MoteExperiment::new(base.with_scream_bytes(24))
         .run_with_trace(SimTime::from_millis(95), SimTime::from_millis(215));
-    println!("moving average of the monitor's RSSI around two 24-byte SCREAMs (threshold -60 dBm):");
+    println!(
+        "moving average of the monitor's RSSI around two 24-byte SCREAMs (threshold -60 dBm):"
+    );
     for (time, value) in result.trace().moving_average_series() {
         let bar_len = ((value + 100.0).max(0.0) / 2.0) as usize;
         println!(

@@ -28,7 +28,8 @@ fn main() {
     let gateways = vec![NodeId::new(0), NodeId::new(24)];
     let forest = RoutingForest::shortest_path(&graph, &gateways, 42).expect("grid is connected");
     let mut rng = ChaCha8Rng::seed_from_u64(42);
-    let demands = DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
+    let demands =
+        DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
     let link_demands = LinkDemands::aggregate(&forest, &demands).expect("sizes match");
     println!(
         "traffic: total demand {} packets over {} links (serialized schedule length {})",

@@ -67,7 +67,8 @@ fn main() {
 
     let gateways = deployment.corner_nodes();
     let forest = RoutingForest::shortest_path(&graph, &gateways, seed).expect("connected");
-    let demands = DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
+    let demands =
+        DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
     let link_demands = LinkDemands::aggregate(&forest, &demands).expect("sizes match");
     println!(
         "routing forest: {} gateways, max depth {}, total demand {}",
@@ -86,7 +87,11 @@ fn main() {
         ScheduleMetrics::compute(&centralized, &link_demands)
     );
 
-    for kind in [ProtocolKind::Fdd, ProtocolKind::pdd(0.8), ProtocolKind::pdd(0.2)] {
+    for kind in [
+        ProtocolKind::Fdd,
+        ProtocolKind::pdd(0.8),
+        ProtocolKind::pdd(0.2),
+    ] {
         let run = DistributedScheduler::new(kind, config)
             .run(&env, &link_demands)
             .expect("protocol completes");
@@ -99,7 +104,10 @@ fn main() {
             run.execution_secs()
         );
         if kind == ProtocolKind::Fdd {
-            assert_eq!(run.schedule, centralized, "Theorem 4: FDD == GreedyPhysical");
+            assert_eq!(
+                run.schedule, centralized,
+                "Theorem 4: FDD == GreedyPhysical"
+            );
         }
     }
 }

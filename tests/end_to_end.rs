@@ -92,8 +92,10 @@ fn schedule_quality_ordering_matches_the_paper() {
         .with_scream_slots(env.interference_diameter())
         .with_seed(7);
 
-    let centralized =
-        ScheduleMetrics::compute(&GreedyPhysical::paper_baseline().schedule(&env, &link_demands), &link_demands);
+    let centralized = ScheduleMetrics::compute(
+        &GreedyPhysical::paper_baseline().schedule(&env, &link_demands),
+        &link_demands,
+    );
     let fdd_run = DistributedScheduler::fdd()
         .with_config(config)
         .run(&env, &link_demands)
@@ -182,7 +184,8 @@ fn unplanned_heterogeneous_instance_schedules_end_to_end() {
     }
     let gateways = vec![deployment.corner_nodes()[0], deployment.corner_nodes()[1]];
     let forest = RoutingForest::shortest_path(&graph, &gateways, 31).unwrap();
-    let demands = DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
+    let demands =
+        DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
     let link_demands = LinkDemands::aggregate(&forest, &demands).unwrap();
 
     let config = ProtocolConfig::paper_default()

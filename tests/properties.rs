@@ -3,7 +3,7 @@
 //! scheduling feasibility and the FDD/GreedyPhysical equivalence.
 
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use scream::prelude::*;
@@ -205,5 +205,100 @@ proptest! {
         prop_assert_eq!(t.as_micros(), us);
         prop_assert!((t.as_secs_f64() - us as f64 / 1e6).abs() < 1e-9);
         prop_assert_eq!(SimTime::from_nanos(t.as_nanos()), t);
+    }
+
+    /// The interference ledger's incremental `can_add`/`slot_feasible` agree
+    /// with the from-scratch SINR computation on randomized environments
+    /// (uniform placements, random shadowing) and randomized link sequences,
+    /// including self-links and endpoint-sharing candidates.
+    #[test]
+    fn ledger_matches_from_scratch_feasibility(
+        (nodes, seed) in (8usize..=24, 0u64..5000),
+        sigma_db in 0.0f64..8.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let side = 150.0 * (nodes as f64).sqrt();
+        let deployment = UniformDeployment::new(nodes, side).build(&mut rng);
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .shadowing(sigma_db, seed)
+            .build(&deployment);
+
+        let mut ledger = env.open_slot_ledger();
+        let mut assigned: Vec<Link> = Vec::new();
+        for _ in 0..16 {
+            let candidate = Link::new(
+                NodeId::new(rng.gen_range(0..nodes as u32)),
+                NodeId::new(rng.gen_range(0..nodes as u32)),
+            );
+            prop_assert_eq!(
+                ledger.can_add(candidate),
+                env.can_add_to_slot(&assigned, candidate),
+                "can_add diverged for {} on {:?}",
+                candidate,
+                assigned
+            );
+            if ledger.can_add(candidate) {
+                ledger.assign(candidate);
+                assigned.push(candidate);
+            }
+            prop_assert_eq!(ledger.slot_feasible(), env.slot_feasible(&assigned));
+        }
+    }
+
+    /// The ledger's batched runtime probe agrees with per-participant
+    /// `handshake_ok` even when links share endpoints (where the SINR
+    /// interferer-exclusion rules apply), and force-assigned sets report the
+    /// same per-link handshake health as the from-scratch computation.
+    #[test]
+    fn ledger_probe_matches_handshake_ok(
+        (nodes, seed) in (8usize..=20, 0u64..5000),
+        sigma_db in 0.0f64..6.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xa5a5);
+        let side = 140.0 * (nodes as f64).sqrt();
+        let deployment = UniformDeployment::new(nodes, side).build(&mut rng);
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .shadowing(sigma_db, seed)
+            .build(&deployment);
+
+        // Random links, *not* filtered for feasibility or disjointness:
+        // force-assign some, probe with the rest.
+        let draw_link = |rng: &mut ChaCha8Rng| {
+            let head = rng.gen_range(0..nodes as u32);
+            let tail = (head + 1 + rng.gen_range(0..nodes as u32 - 1)) % nodes as u32;
+            Link::new(NodeId::new(head), NodeId::new(tail))
+        };
+        let assigned: Vec<Link> = (0..4).map(|_| draw_link(&mut rng)).collect();
+        let mut tentative: Vec<Link> = (0..3).map(|_| draw_link(&mut rng)).collect();
+        tentative.dedup();
+
+        let ledger = SlotLedger::with_links(&env, &assigned);
+        let participants: Vec<Link> = assigned
+            .iter()
+            .chain(tentative.iter())
+            .copied()
+            .collect();
+        let probe = ledger.probe(&tentative);
+        prop_assert_eq!(
+            probe.existing_ok,
+            assigned.iter().all(|&l| env.handshake_ok(l, &participants))
+        );
+        for (i, &t) in tentative.iter().enumerate() {
+            prop_assert_eq!(
+                probe.tentative_ok[i],
+                env.handshake_ok(t, &participants),
+                "probe diverged for tentative {} among {:?} + {:?}",
+                t,
+                assigned,
+                tentative
+            );
+        }
+        // Slot health of the force-assigned set alone.
+        prop_assert_eq!(
+            ledger.all_links_ok(),
+            assigned.iter().all(|&l| env.handshake_ok(l, &assigned))
+        );
     }
 }
