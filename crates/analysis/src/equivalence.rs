@@ -32,6 +32,12 @@ pub struct EquivalenceOutcome {
     pub centralized_length: usize,
     /// Length of the FDD schedule.
     pub fdd_length: usize,
+    /// Distinct slot patterns in the centralized schedule's run-length form
+    /// (its actual memory footprint; `centralized_length` can be arbitrarily
+    /// larger under heavy demand).
+    pub centralized_patterns: usize,
+    /// Distinct slot patterns in the FDD schedule's run-length form.
+    pub fdd_patterns: usize,
     /// Whether the two schedules are identical slot-by-slot.
     pub identical: bool,
     /// Whether both schedules passed feasibility + demand verification.
@@ -119,6 +125,8 @@ impl EquivalenceReport {
             total_demand: link_demands.total_demand(),
             centralized_length: centralized.length(),
             fdd_length: fdd.schedule.length(),
+            centralized_patterns: centralized.pattern_count(),
+            fdd_patterns: fdd.schedule.pattern_count(),
             identical: fdd.schedule == centralized,
             both_valid,
         })

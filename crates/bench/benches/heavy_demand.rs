@@ -1,0 +1,42 @@
+//! Criterion bench for the heavy-demand fast path: batched run-level
+//! placement vs the seed's per-unit first-fit loop, swept over demand
+//! magnitude on the fixed 64-link instance of
+//! [`scream_bench::heavy_demand_instance`].
+//!
+//! `batched` is `GreedyPhysical::schedule` (run-length schedules, one probe
+//! per pattern per link); `per_unit_baseline` is
+//! `GreedyPhysical::schedule_per_unit`, the pre-batching implementation kept
+//! as a baseline shim. The baseline materializes one slot per unit of demand
+//! — O(total demand) time and memory — so it is benched only up to
+//! demand 10⁴ (at 10⁶ a single iteration would take minutes); the batched
+//! path runs the full sweep to 10⁶, where its cost is visibly flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scream_bench::heavy_demand_instance;
+use scream_scheduling::GreedyPhysical;
+
+fn bench_heavy_demand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heavy_demand_64_links");
+    group.sample_size(10);
+    for demand in [1u64, 100, 10_000, 1_000_000] {
+        let (env, demands) = heavy_demand_instance(demand);
+        group.bench_with_input(
+            BenchmarkId::new("batched", demand),
+            &demands,
+            |b, demands| b.iter(|| GreedyPhysical::paper_baseline().schedule(&env, demands)),
+        );
+        if demand <= 10_000 {
+            group.bench_with_input(
+                BenchmarkId::new("per_unit_baseline", demand),
+                &demands,
+                |b, demands| {
+                    b.iter(|| GreedyPhysical::paper_baseline().schedule_per_unit(&env, demands))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heavy_demand);
+criterion_main!(benches);

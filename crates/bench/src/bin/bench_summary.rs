@@ -1,0 +1,144 @@
+//! Quick deterministic bench summary: times the scheduling/feasibility hot
+//! paths with `std::time::Instant` (median of a few repetitions, fixed
+//! instances, no randomness) and writes the results — including the
+//! batched-vs-per-unit and ledger-vs-from-scratch speedup ratios — to
+//! `BENCH_schedule.json`, so the perf trajectory is tracked across PRs.
+//!
+//! Usage: `cargo run --release -p scream-bench --bin bench_summary [--quick] [output.json]`
+//!
+//! `--quick` shrinks the heavy-demand point from 10⁴ to 10³ units per link
+//! and the repetition count, for CI smoke runs.
+
+use std::time::Instant;
+
+use scream_bench::{heavy_demand_instance, PaperScenario};
+use scream_scheduling::{verify_schedule, FromScratch, GreedyPhysical};
+
+/// One measured operation: a name, its median wall-clock time, and how many
+/// repetitions the median was taken over.
+struct Measurement {
+    name: &'static str,
+    median_secs: f64,
+    reps: usize,
+}
+
+/// Times `op` over `reps` repetitions and returns the median duration in
+/// seconds (the result of each run is returned to keep the work observable).
+fn time_median<T>(reps: usize, mut op: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(op());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn format_json(measurements: &[Measurement], ratios: &[(&str, f64)], quick: bool) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": {\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {{ \"median_secs\": {:.6e}, \"reps\": {} }}{comma}\n",
+            m.name, m.median_secs, m.reps
+        ));
+    }
+    out.push_str("  },\n  \"speedup_ratios\": {\n");
+    for (i, (name, ratio)) in ratios.iter().enumerate() {
+        let comma = if i + 1 < ratios.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {ratio:.1}{comma}\n"));
+    }
+    out.push_str(&format!("  }},\n  \"quick_mode\": {quick}\n}}\n"));
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| *a != "--quick")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_schedule.json".to_string());
+    let (heavy_demand, reps) = if quick { (1_000, 3) } else { (10_000, 5) };
+
+    let mut measurements = Vec::new();
+
+    // Heavy-demand scheduling: batched run-level placement vs the per-unit
+    // baseline on the fixed 64-link instance.
+    let (env, demands) = heavy_demand_instance(heavy_demand);
+    eprintln!("# timing batched placement (demand {heavy_demand}/link, 64 links)...");
+    let batched = time_median(reps, || {
+        GreedyPhysical::paper_baseline().schedule(&env, &demands)
+    });
+    measurements.push(Measurement {
+        name: "greedy_batched_heavy",
+        median_secs: batched,
+        reps,
+    });
+    eprintln!("# timing per-unit baseline (same instance)...");
+    let per_unit_reps = if quick { 1 } else { 3 };
+    let per_unit = time_median(per_unit_reps, || {
+        GreedyPhysical::paper_baseline().schedule_per_unit(&env, &demands)
+    });
+    measurements.push(Measurement {
+        name: "greedy_per_unit_heavy",
+        median_secs: per_unit,
+        reps: per_unit_reps,
+    });
+
+    // Run-length verification of the million-scale schedule (batched path's
+    // output) — pays per pattern, so this is near-instant at any demand.
+    let schedule = GreedyPhysical::paper_baseline().schedule(&env, &demands);
+    eprintln!(
+        "# timing verification ({} slots, {} patterns)...",
+        schedule.length(),
+        schedule.pattern_count()
+    );
+    let verify = time_median(reps, || {
+        verify_schedule(&env, &schedule, &demands).expect("batched schedule verifies")
+    });
+    measurements.push(Measurement {
+        name: "verify_compact_heavy",
+        median_secs: verify,
+        reps,
+    });
+
+    // Paper-scenario end-to-end scheduling: ledger-backed vs from-scratch
+    // feasibility on a 36-node fig6-style instance (the schedule_grid bench's
+    // comparison, in deterministic quick form).
+    let instance = PaperScenario::grid(2_000.0)
+        .with_node_count(36)
+        .instantiate(1);
+    eprintln!("# timing fig6-style centralized scheduling (ledger vs from-scratch)...");
+    let ledger = time_median(reps, || instance.run_centralized());
+    measurements.push(Measurement {
+        name: "fig6_centralized_ledger",
+        median_secs: ledger,
+        reps,
+    });
+    let from_scratch = time_median(reps, || {
+        GreedyPhysical::paper_baseline()
+            .schedule(&FromScratch(&instance.env), &instance.link_demands)
+    });
+    measurements.push(Measurement {
+        name: "fig6_centralized_from_scratch",
+        median_secs: from_scratch,
+        reps,
+    });
+
+    let ratios = vec![
+        ("batched_over_per_unit", per_unit / batched.max(1e-12)),
+        ("ledger_over_from_scratch", from_scratch / ledger.max(1e-12)),
+    ];
+    for (name, ratio) in &ratios {
+        eprintln!("# {name}: {ratio:.1}x");
+    }
+
+    let json = format_json(&measurements, &ratios, quick);
+    std::fs::write(&out_path, &json).expect("writing the bench summary file");
+    eprintln!("# wrote {out_path}");
+    print!("{json}");
+}

@@ -2,15 +2,22 @@
 //! [`ScenarioSweep`]: the verified centralized baseline per (density, seed)
 //! cell, across all cores, with deterministic grid-ordered output.
 //!
-//! Usage: `cargo run --release -p scream-bench --bin sweep_grid [seeds_per_density]`
+//! Usage: `cargo run --release -p scream-bench --bin sweep_grid [seeds_per_density] [--csv]`
+//!
+//! With `--csv` the cells are emitted as machine-readable CSV (via
+//! [`SweepReport::to_csv`]) instead of the aligned table, ready to pipe into
+//! a plotting tool or commit as a data artifact.
 
 use std::time::Instant;
 
-use scream_bench::{PaperScenario, ScenarioSweep, Table};
+use scream_bench::{PaperScenario, ScenarioSweep};
 
 fn main() {
-    let seeds_per_density: u64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let seeds_per_density: u64 = args
+        .iter()
+        .find(|a| *a != "--csv")
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     let densities = [1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0];
@@ -23,35 +30,19 @@ fn main() {
         sweep.len()
     );
     let start = Instant::now();
-    let points = sweep.run();
+    let report = sweep.report();
     let elapsed = start.elapsed();
 
-    let mut table = Table::new(
-        format!(
-            "Parallel density sweep — centralized baseline ({} cells in {:.2}s)",
-            points.len(),
-            elapsed.as_secs_f64()
-        ),
-        &[
-            "density(nodes/km2)",
-            "seed",
-            "ID",
-            "TD",
-            "slots",
-            "improvement(%)",
-            "reuse",
-        ],
-    );
-    for p in &points {
-        table.push_row(vec![
-            format!("{:.0}", p.density_per_km2),
-            p.seed.to_string(),
-            p.interference_diameter.to_string(),
-            p.total_demand.to_string(),
-            p.centralized.length.to_string(),
-            format!("{:.1}", p.centralized.improvement_over_linear_pct),
-            format!("{:.2}", p.centralized.spatial_reuse),
-        ]);
+    if csv {
+        print!("{}", report.to_csv());
+        return;
     }
-    println!("{table}");
+    println!(
+        "{}",
+        report.to_table(format!(
+            "Parallel density sweep — centralized baseline ({} cells in {:.2}s)",
+            report.points.len(),
+            elapsed.as_secs_f64()
+        ))
+    );
 }

@@ -25,5 +25,5 @@ pub mod scenario;
 pub mod sweep;
 
 pub use report::Table;
-pub use scenario::{PaperScenario, ScenarioInstance, Topology};
-pub use sweep::{ScenarioSweep, SweepCell, SweepPoint};
+pub use scenario::{heavy_demand_instance, PaperScenario, ScenarioInstance, Topology};
+pub use sweep::{ScenarioSweep, SweepCell, SweepPoint, SweepReport};

@@ -181,6 +181,40 @@ impl PaperScenario {
     }
 }
 
+/// A fixed deterministic heavy-demand instance: 128 nodes on a 16 × 8 planned
+/// grid (150 m lattice step, homogeneous 20 dBm power), with exactly **64
+/// horizontal links** — one per disjoint column pair per row — each demanding
+/// `demand_per_link` slots.
+///
+/// Unlike [`PaperScenario`], the demand magnitude is the only knob, which is
+/// what the `heavy_demand` bench and the `bench_summary` binary sweep to show
+/// that batched placement and run-length schedules make demand nearly free
+/// (the link set, and hence the packing problem, never changes).
+pub fn heavy_demand_instance(demand_per_link: u64) -> (RadioEnvironment, LinkDemands) {
+    use scream_topology::{Link, NodeId};
+
+    const COLUMNS: usize = 16;
+    const ROWS: usize = 8;
+    let deployment = GridDeployment::new(COLUMNS, ROWS, 150.0).build();
+    let env = RadioEnvironment::builder()
+        .propagation(PropagationModel::log_distance(3.0))
+        .build(&deployment);
+    let links: Vec<(Link, u64)> = (0..ROWS)
+        .flat_map(|row| {
+            (0..COLUMNS / 2).map(move |pair| {
+                let tail = (row * COLUMNS + 2 * pair) as u32;
+                (
+                    Link::new(NodeId::new(tail + 1), NodeId::new(tail)),
+                    demand_per_link,
+                )
+            })
+        })
+        .collect();
+    let demands = LinkDemands::from_links(deployment.len(), &links)
+        .expect("the 64 fixed links are distinct and in range");
+    (env, demands)
+}
+
 /// One concrete, connected instance of the paper scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioInstance {
@@ -288,6 +322,27 @@ mod tests {
         scream_scheduling::verify_schedule(&instance.env, &fdd.schedule, &instance.link_demands)
             .unwrap();
         assert_eq!(fdd.schedule, centralized);
+    }
+
+    #[test]
+    fn heavy_demand_instance_has_64_links_scaled_by_demand() {
+        let (env, light) = heavy_demand_instance(1);
+        let (_, heavy) = heavy_demand_instance(10_000);
+        assert_eq!(light.demanded_links().count(), 64);
+        assert_eq!(heavy.total_demand(), 640_000);
+        // The link set is fixed; only multiplicities change, so the greedy
+        // packing (pattern structure) is identical at every demand level.
+        let light_schedule =
+            scream_scheduling::GreedyPhysical::paper_baseline().schedule(&env, &light);
+        let heavy_schedule =
+            scream_scheduling::GreedyPhysical::paper_baseline().schedule(&env, &heavy);
+        scream_scheduling::verify_schedule(&env, &heavy_schedule, &heavy).unwrap();
+        assert!(light_schedule.spatial_reuse() > 1.0);
+        assert_eq!(
+            heavy_schedule.length(),
+            light_schedule.length() * 10_000,
+            "per-link demand scales the schedule uniformly on this instance"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ use rayon::prelude::*;
 
 use scream_scheduling::{verify_schedule, ScheduleMetrics};
 
+use crate::report::Table;
 use crate::scenario::{PaperScenario, ScenarioInstance};
 
 /// A density × seed grid of paper-scenario experiments, executed across all
@@ -135,6 +136,12 @@ impl ScenarioSweep {
             .collect()
     }
 
+    /// Runs the sweep like [`run`](Self::run) and wraps the points in a
+    /// [`SweepReport`] for CSV/table export.
+    pub fn report(&self) -> SweepReport {
+        SweepReport { points: self.run() }
+    }
+
     /// Runs the centralized GreedyPhysical baseline on every cell in
     /// parallel, verifying each schedule against its instance.
     ///
@@ -166,6 +173,63 @@ impl ScenarioSweep {
             }
         })
         .collect()
+    }
+}
+
+/// The collected result of a [`ScenarioSweep::report`] run, exportable as
+/// CSV (for plotting pipelines) or as an aligned text [`Table`] (for eyes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-cell results in grid (density-major) order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// Column headers shared by the CSV and table exports.
+    const COLUMNS: [&'static str; 8] = [
+        "density_per_km2",
+        "seed",
+        "interference_diameter",
+        "total_demand",
+        "slots",
+        "improvement_pct",
+        "spatial_reuse",
+        "patterns",
+    ];
+
+    fn row(p: &SweepPoint) -> Vec<String> {
+        vec![
+            format!("{:.0}", p.density_per_km2),
+            p.seed.to_string(),
+            p.interference_diameter.to_string(),
+            p.total_demand.to_string(),
+            p.centralized.length.to_string(),
+            format!("{:.2}", p.centralized.improvement_over_linear_pct),
+            format!("{:.3}", p.centralized.spatial_reuse),
+            p.centralized.pattern_count.to_string(),
+        ]
+    }
+
+    /// Renders the report as RFC-4180-style CSV (header row + one row per
+    /// cell, `\n` line endings), in grid order — the machine-readable export
+    /// the ROADMAP's dense-scenario workloads pipe into plotting tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = Self::COLUMNS.join(",");
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&Self::row(p).join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the report as an aligned text [`Table`] with the given title.
+    pub fn to_table(&self, title: impl Into<String>) -> Table {
+        let mut table = Table::new(title, &Self::COLUMNS);
+        for p in &self.points {
+            table.push_row(Self::row(p));
+        }
+        table
     }
 }
 
@@ -242,6 +306,25 @@ mod tests {
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.value > 0));
         assert_eq!(cells[0].seed, 5);
+    }
+
+    #[test]
+    fn csv_export_has_a_header_and_one_row_per_cell() {
+        let sweep = small_sweep();
+        let report = sweep.report();
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + sweep.len());
+        assert!(lines[0].starts_with("density_per_km2,seed,"));
+        let columns = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == columns));
+        // Rows come in grid order and reproduce deterministically.
+        assert!(lines[1].starts_with("1500,1,"));
+        assert_eq!(csv, sweep.report().to_csv());
+        // The table export shares the same columns.
+        let table = report.to_table("sweep");
+        assert_eq!(table.row_count(), sweep.len());
+        assert!(table.render().contains("improvement_pct"));
     }
 
     #[test]

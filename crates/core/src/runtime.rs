@@ -124,6 +124,9 @@ impl DistributedScheduler {
         let mut stats = RunStats::new();
         let mut schedule = Schedule::new();
         let mut controller: Option<usize> = None;
+        // One interference ledger reused (cleared, not reallocated) across
+        // every round's slot construction.
+        let mut ledger = env.open_slot_ledger();
 
         loop {
             if controller.is_none() {
@@ -169,7 +172,7 @@ impl DistributedScheduler {
             // controller's edge plus every allocated edge, with cumulative
             // per-receiver interference cached so each iteration's handshake
             // and veto checks cost O((k + a) · a) instead of O((k + a)²).
-            let mut ledger = env.open_slot_ledger();
+            ledger.clear();
             ledger.assign(link_of[ctrl].expect("the controller has pending demand"));
 
             loop {
@@ -327,7 +330,11 @@ impl DistributedScheduler {
 }
 
 /// The result of one distributed scheduling run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Not serde-deserializable because [`Schedule`] is not (its canonical
+/// run-length invariant must be established by construction); serialize the
+/// run and re-execute, or rebuild the schedule via `Schedule::from_runs`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DistributedRun {
     /// The protocol variant that produced this run.
     pub kind: ProtocolKind,

@@ -125,25 +125,36 @@ impl RadioEnvironment {
     }
 
     /// Checks the *data sub-slot* condition for `link` against the data
-    /// transmitters of the concurrent links.
+    /// transmitters of the concurrent links. Interference is summed inline
+    /// (same accumulation order as the interferer list the seed collected),
+    /// so the check is allocation-free.
     pub fn data_subslot_ok(&self, link: Link, concurrent: &[Link]) -> bool {
-        let interferers: Vec<NodeId> = concurrent
-            .iter()
-            .filter(|l| **l != link)
-            .map(|l| l.head)
-            .collect();
-        self.decodable(link.head, link.tail, &interferers)
+        let signal = self.received_power_mw(link.head, link.tail);
+        let mut interference = 0.0;
+        for l in concurrent {
+            if *l == link || l.head == link.head || l.head == link.tail {
+                continue;
+            }
+            interference += self.received_power_mw(l.head, link.tail);
+        }
+        signal / (self.config.noise_floor_mw() + interference)
+            >= self.config.sinr_threshold_linear()
     }
 
     /// Checks the *ACK sub-slot* condition for `link` against the ACK
-    /// transmitters (the tails) of the concurrent links.
+    /// transmitters (the tails) of the concurrent links, allocation-free like
+    /// [`data_subslot_ok`](Self::data_subslot_ok).
     pub fn ack_subslot_ok(&self, link: Link, concurrent: &[Link]) -> bool {
-        let interferers: Vec<NodeId> = concurrent
-            .iter()
-            .filter(|l| **l != link)
-            .map(|l| l.tail)
-            .collect();
-        self.decodable(link.tail, link.head, &interferers)
+        let signal = self.received_power_mw(link.tail, link.head);
+        let mut interference = 0.0;
+        for l in concurrent {
+            if *l == link || l.tail == link.tail || l.tail == link.head {
+                continue;
+            }
+            interference += self.received_power_mw(l.tail, link.head);
+        }
+        signal / (self.config.noise_floor_mw() + interference)
+            >= self.config.sinr_threshold_linear()
     }
 
     /// Whether the two-way handshake on `link` succeeds when scheduled

@@ -162,6 +162,20 @@ impl<'a> SlotLedger<'a> {
         }
     }
 
+    /// Opens an empty ledger with all per-link buffers pre-sized for `slots`
+    /// of up to `capacity` links — the allocation-free lifecycle entry point
+    /// for callers that [`clear`](Self::clear) and refill one ledger many
+    /// times (the verifier across slots, the runtime across rounds).
+    pub fn with_capacity(env: &'a RadioEnvironment, capacity: usize) -> Self {
+        let mut ledger = Self::new(env);
+        ledger.links.reserve(capacity);
+        ledger.data_signal.reserve(capacity);
+        ledger.ack_signal.reserve(capacity);
+        ledger.data_interference.reserve(capacity);
+        ledger.ack_interference.reserve(capacity);
+        ledger
+    }
+
     /// Builds a ledger containing `links`, assigned in the given order.
     pub fn with_links(env: &'a RadioEnvironment, links: &[Link]) -> Self {
         let mut ledger = Self::new(env);
@@ -169,6 +183,23 @@ impl<'a> SlotLedger<'a> {
             ledger.assign(link);
         }
         ledger
+    }
+
+    /// Empties the ledger in O(k) without releasing any buffer, so one ledger
+    /// (and its `endpoint_uses` table) can be reused across many slots. After
+    /// `clear` the ledger is indistinguishable from a freshly
+    /// [`new`](Self::new)-opened one.
+    pub fn clear(&mut self) {
+        for link in &self.links {
+            self.endpoint_uses[link.head.index()] -= 1;
+            self.endpoint_uses[link.tail.index()] -= 1;
+        }
+        self.links.clear();
+        self.data_signal.clear();
+        self.ack_signal.clear();
+        self.data_interference.clear();
+        self.ack_interference.clear();
+        self.disjoint = true;
     }
 
     /// The environment this ledger prices interference against.
@@ -586,6 +617,32 @@ mod tests {
             assert!(margin.ok(), "{margin}");
             assert!(margin.to_string().contains("dB"));
         }
+    }
+
+    #[test]
+    fn cleared_ledger_behaves_like_a_fresh_one() {
+        let env = line_env(8, 200.0);
+        let mut reused = SlotLedger::with_capacity(&env, 4);
+        // Fill with a slot (including a force-assigned endpoint conflict),
+        // clear, then replay a different slot; every observable must match a
+        // fresh ledger's.
+        reused.assign(link(0, 1));
+        reused.assign(link(1, 2));
+        assert!(!reused.slot_feasible());
+        reused.clear();
+        assert!(reused.is_empty());
+        assert!(reused.slot_feasible());
+        assert!(reused.endpoints_free(link(1, 2)));
+
+        let mut fresh = env.open_slot_ledger();
+        for l in [link(6, 7), link(2, 3)] {
+            assert_eq!(reused.can_add(l), fresh.can_add(l));
+            reused.assign(l);
+            fresh.assign(l);
+        }
+        assert_eq!(reused.links(), fresh.links());
+        assert_eq!(reused.slot_feasible(), fresh.slot_feasible());
+        assert_eq!(reused.margins(), fresh.margins());
     }
 
     #[test]

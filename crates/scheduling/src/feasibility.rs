@@ -47,6 +47,11 @@ pub trait SlotAccumulator {
     /// [`can_add`](Self::can_add).)
     fn assign(&mut self, link: Link);
 
+    /// Empties the accumulator without releasing its buffers, so one
+    /// accumulator can be reused across many slots (the verifier re-checks
+    /// every slot of a schedule through a single accumulator this way).
+    fn clear(&mut self);
+
     /// The links assigned so far, in assignment order.
     fn links(&self) -> &[Link];
 
@@ -119,6 +124,10 @@ impl<M: SlotFeasibility + ?Sized> SlotAccumulator for RecheckAccumulator<'_, M> 
         self.links.push(link);
     }
 
+    fn clear(&mut self) {
+        self.links.clear();
+    }
+
     fn links(&self) -> &[Link] {
         &self.links
     }
@@ -137,6 +146,10 @@ impl SlotAccumulator for LedgerAccumulator<'_> {
 
     fn assign(&mut self, link: Link) {
         self.ledger.assign(link);
+    }
+
+    fn clear(&mut self) {
+        self.ledger.clear();
     }
 
     fn links(&self) -> &[Link] {

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use scream_topology::{Link, LinkDemands};
 
-use crate::feasibility::SlotFeasibility;
+use crate::feasibility::{SlotAccumulator, SlotFeasibility};
 use crate::schedule::Schedule;
 
 /// Order in which GreedyPhysical considers the edges.
@@ -91,13 +91,106 @@ impl GreedyPhysical {
     /// properties are checked by `verify_schedule` in this crate's tests and
     /// the integration tests).
     ///
-    /// The first-fit loop keeps one stateful
-    /// [`SlotAccumulator`](crate::feasibility::SlotAccumulator) per open
-    /// slot, so a probe against a slot of `k` links costs O(k) under the
-    /// physical model (the interference-ledger accumulator) instead of the
-    /// O(k²) from-scratch re-check — and no per-probe slot cloning happens
-    /// anywhere.
+    /// # Batched placement
+    ///
+    /// First-fit is executed at the granularity of **runs** of identical slot
+    /// patterns rather than individual slots. Slots are mutually independent
+    /// — assigning a link to one slot never changes another slot's
+    /// feasibility for that link — so two consecutive slots with the same
+    /// pattern accept or reject a candidate identically, and a whole run can
+    /// be claimed (or skipped) with a *single* feasibility probe. Each link
+    /// therefore costs O(#patterns) probes and leftover demand is appended as
+    /// one run, making demand magnitude nearly free: the work and memory are
+    /// O(#links · #patterns), independent of how many units each link
+    /// demands. The probe itself stays O(k) through the model's stateful
+    /// [`SlotAccumulator`](crate::feasibility::SlotAccumulator).
+    ///
+    /// Decision-for-decision equivalence with the seed's per-unit first-fit
+    /// loop (kept as [`schedule_per_unit`](Self::schedule_per_unit)) is
+    /// pinned by the `batched_placement_matches_per_unit` property test for
+    /// every [`EdgeOrdering`], and transitively by the FDD ≡ GreedyPhysical
+    /// suite (Theorem 4).
     pub fn schedule<M: SlotFeasibility>(&self, model: &M, demands: &LinkDemands) -> Schedule {
+        let mut edges: Vec<(Link, u64)> = demands.demanded_links().collect();
+        self.ordering.sort(&mut edges);
+
+        // Open runs under construction: one accumulator per distinct
+        // consecutive pattern, with the number of slots sharing it.
+        struct OpenRun<'m> {
+            accumulator: Box<dyn SlotAccumulator + 'm>,
+            count: u64,
+        }
+        let mut runs: Vec<OpenRun<'_>> = Vec::new();
+        for (link, demand) in edges {
+            let mut remaining = demand;
+            let mut idx = 0usize;
+            while remaining > 0 && idx < runs.len() {
+                let run = &mut runs[idx];
+                if !run.accumulator.contains(link) && run.accumulator.can_add(link) {
+                    if remaining >= run.count {
+                        // The link joins every slot of the run.
+                        run.accumulator.assign(link);
+                        remaining -= run.count;
+                    } else {
+                        // The link joins only the first `remaining` slots:
+                        // split the run, keeping the augmented part first so
+                        // slot order matches the per-unit first-fit exactly.
+                        // Rebuilding the augmented accumulator from its link
+                        // list is O(k²), but a split ends the link's scan, so
+                        // it happens at most once per link.
+                        let mut augmented = model.open_slot();
+                        for &l in run.accumulator.links() {
+                            augmented.assign(l);
+                        }
+                        augmented.assign(link);
+                        run.count -= remaining;
+                        runs.insert(
+                            idx,
+                            OpenRun {
+                                accumulator: augmented,
+                                count: remaining,
+                            },
+                        );
+                        remaining = 0;
+                    }
+                }
+                idx += 1;
+            }
+            if remaining > 0 {
+                // No existing slot accepts the leftover demand: append it as
+                // one solo run. A single link alone is always feasible if the
+                // link is usable at all; if even the solo slot is infeasible
+                // (link out of range under `model`) we still allocate it so
+                // the demand accounting stays consistent — the verifier will
+                // flag the infeasibility explicitly.
+                let mut accumulator = model.open_slot();
+                accumulator.assign(link);
+                runs.push(OpenRun {
+                    accumulator,
+                    count: remaining,
+                });
+            }
+        }
+        Schedule::from_runs(
+            runs.into_iter()
+                .map(|run| (run.accumulator.links().to_vec(), run.count)),
+        )
+    }
+
+    /// The seed's per-unit first-fit loop: every unit of demand is placed by
+    /// scanning the open slots individually, materializing one slot per unit
+    /// — O(total demand) time and memory.
+    ///
+    /// Kept (like [`FromScratch`](crate::feasibility::FromScratch) for the
+    /// ledger) as the pre-batching baseline: the `heavy_demand` bench and the
+    /// `bench_summary` binary measure [`schedule`](Self::schedule) against
+    /// it, and the equivalence property tests pin that both produce the same
+    /// schedule on every instance and ordering.
+    pub fn schedule_per_unit<M: SlotFeasibility>(
+        &self,
+        model: &M,
+        demands: &LinkDemands,
+    ) -> Schedule {
         let mut edges: Vec<(Link, u64)> = demands.demanded_links().collect();
         self.ordering.sort(&mut edges);
 
@@ -108,12 +201,6 @@ impl GreedyPhysical {
             let mut slot = 0usize;
             while remaining > 0 {
                 if slot == open_slots.len() {
-                    // No existing slot accepted this transmission: open a new
-                    // one. A single link alone is always feasible if the link
-                    // is usable at all; if even the solo slot is infeasible
-                    // (link out of range under `model`) we still allocate it
-                    // so the demand accounting stays consistent — the
-                    // verifier will flag the infeasibility explicitly.
                     let mut accumulator = model.open_slot();
                     accumulator.assign(link);
                     open_slots.push(accumulator);
@@ -249,6 +336,74 @@ mod tests {
                 .schedule(&crate::feasibility::FromScratch(&env), &ld);
             assert_eq!(ledger_backed, from_scratch, "divergence for seed {seed}");
         }
+    }
+
+    #[test]
+    fn batched_schedule_equals_per_unit_schedule_for_every_ordering() {
+        for seed in [1u64, 4, 9] {
+            let (env, ld) = grid_instance(5, 180.0, seed);
+            for ordering in [
+                EdgeOrdering::DecreasingHeadId,
+                EdgeOrdering::IncreasingHeadId,
+                EdgeOrdering::DecreasingDemand,
+                EdgeOrdering::IncreasingDemand,
+            ] {
+                let batched = GreedyPhysical::new(ordering).schedule(&env, &ld);
+                let per_unit = GreedyPhysical::new(ordering).schedule_per_unit(&env, &ld);
+                assert_eq!(
+                    batched, per_unit,
+                    "batched placement diverged for seed {seed}, ordering {ordering:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_demand_costs_patterns_not_slots() {
+        // Two independent links and one conflicting neighbor, all with huge
+        // demands: the schedule must be correct (exact allocation counts) and
+        // compact (a handful of patterns for millions of slots).
+        let demands = LinkDemands::from_links(
+            6,
+            &[
+                (link(1, 0), 1_000_000),
+                (link(3, 2), 700_000),
+                (link(2, 1), 500_000),
+            ],
+        )
+        .unwrap();
+        let schedule =
+            GreedyPhysical::new(EdgeOrdering::DecreasingDemand).schedule(&EndpointOnly, &demands);
+        assert_eq!(schedule.allocated_to(link(1, 0)), 1_000_000);
+        assert_eq!(schedule.allocated_to(link(3, 2)), 700_000);
+        assert_eq!(schedule.allocated_to(link(2, 1)), 500_000);
+        verify_schedule(&EndpointOnly, &schedule, &demands).unwrap();
+        assert!(
+            schedule.pattern_count() <= 6,
+            "expected O(#links) patterns, got {}",
+            schedule.pattern_count()
+        );
+        // (1,0) ∥ (3,2) pack together; (2,1) conflicts with both.
+        assert_eq!(schedule.length(), 1_000_000 + 500_000);
+    }
+
+    #[test]
+    fn splitting_a_run_preserves_first_fit_order() {
+        // Link A demands 5 (one solo run), then B (disjoint) demands 2: B
+        // must land in the *first* two of A's five slots, exactly as the
+        // per-unit scan would place it.
+        let demands = LinkDemands::from_links(4, &[(link(1, 0), 5), (link(3, 2), 2)]).unwrap();
+        let schedule =
+            GreedyPhysical::new(EdgeOrdering::DecreasingDemand).schedule(&EndpointOnly, &demands);
+        assert_eq!(schedule.length(), 5);
+        assert_eq!(schedule.slot(0), &[link(1, 0), link(3, 2)]);
+        assert_eq!(schedule.slot(1), &[link(1, 0), link(3, 2)]);
+        assert_eq!(schedule.slot(2), &[link(1, 0)]);
+        assert_eq!(
+            schedule,
+            GreedyPhysical::new(EdgeOrdering::DecreasingDemand)
+                .schedule_per_unit(&EndpointOnly, &demands)
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use greedy::{EdgeOrdering, GreedyPhysical};
 pub use linear::serialized_schedule;
 pub use metrics::ScheduleMetrics;
 pub use schedule::Schedule;
-pub use verify::{verify_schedule, ScheduleViolation};
+pub use verify::{verify_schedule, verify_slots_feasible, ScheduleViolation};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
@@ -67,5 +67,5 @@ pub mod prelude {
     pub use crate::linear::serialized_schedule;
     pub use crate::metrics::ScheduleMetrics;
     pub use crate::schedule::Schedule;
-    pub use crate::verify::{verify_schedule, ScheduleViolation};
+    pub use crate::verify::{verify_schedule, verify_slots_feasible, ScheduleViolation};
 }

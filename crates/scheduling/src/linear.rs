@@ -14,13 +14,13 @@ use crate::schedule::Schedule;
 ///
 /// The result trivially satisfies all demands and is feasible under any
 /// interference model that accepts single-link slots, and its length equals
-/// [`LinkDemands::total_demand`].
+/// [`LinkDemands::total_demand`]. Each link's demand is emitted as a single
+/// run, so building (and holding) the baseline costs O(#links) however large
+/// the demands are.
 pub fn serialized_schedule(demands: &LinkDemands) -> Schedule {
     let mut schedule = Schedule::new();
     for (link, demand) in demands.demanded_links() {
-        for _ in 0..demand {
-            schedule.push_slot(vec![link]);
-        }
+        schedule.push_slot_run(vec![link], demand);
     }
     schedule
 }

@@ -22,6 +22,10 @@ pub struct ScheduleMetrics {
     pub improvement_over_linear_pct: f64,
     /// Average number of concurrent links per slot.
     pub spatial_reuse: f64,
+    /// Number of distinct consecutive slot patterns in the run-length
+    /// representation — the schedule's actual memory footprint, which stays
+    /// O(#links) under heavy demand while `length` grows with `TD`.
+    pub pattern_count: usize,
 }
 
 impl ScheduleMetrics {
@@ -39,6 +43,7 @@ impl ScheduleMetrics {
             serialized_length,
             improvement_over_linear_pct: improvement,
             spatial_reuse: schedule.spatial_reuse(),
+            pattern_count: schedule.pattern_count(),
         }
     }
 

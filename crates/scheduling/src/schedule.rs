@@ -5,17 +5,49 @@
 //! GreedyPhysical algorithm and the distributed PDD/FDD protocols produce
 //! values of this type, which makes cross-checking them (Theorem 4) a simple
 //! equality test.
+//!
+//! # Run-length representation
+//!
+//! Heavy-demand instances repeat the same slot *pattern* (link set) many
+//! times in a row — a link with a million units of leftover demand occupies a
+//! million consecutive identical solo slots. Following the multicoloring view
+//! of schedules as slot patterns with multiplicities (Vieira et al.,
+//! arXiv:1106.1590 / arXiv:1504.01647), `Schedule` stores **maximal runs**
+//! `(pattern, multiplicity)` instead of one `Vec<Link>` per slot, so memory
+//! and most queries are O(#patterns) rather than O(#slots). The per-slot API
+//! (`slot`, `slots`, `assign`, …) is preserved on top of the compact form;
+//! consumers that care about heavy demand (the verifier, the metrics, the
+//! greedy scheduler) walk [`runs`](Schedule::runs) directly and pay per
+//! *distinct* pattern, not per slot.
+//!
+//! The run list is kept **canonical** — no empty runs, no two adjacent runs
+//! with the same pattern, patterns sorted and deduplicated — by every
+//! constructor and mutator, so the derived `PartialEq` compares logical slot
+//! sequences exactly as the old expanded form did.
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use scream_topology::{Link, NodeId};
 
-/// An STDMA schedule: `slots[t]` is the set of links transmitting in slot `t`.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// An STDMA schedule: logically, `slots[t]` is the set of links transmitting
+/// in slot `t`; physically, maximal runs of identical consecutive slots are
+/// stored once with a multiplicity.
+///
+/// Deliberately *not* serde-deserializable (same stance as `ProtocolModel`):
+/// equality, allocation counts and the run-aware verifier all rely on the
+/// canonical-run invariant, and a derived `Deserialize` would construct
+/// values that bypass it. Serialize the runs and rebuild with
+/// [`Schedule::from_runs`], which re-establishes the invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
 pub struct Schedule {
-    slots: Vec<Vec<Link>>,
+    /// Canonical maximal runs: `(pattern, multiplicity)`, multiplicity ≥ 1,
+    /// no two adjacent runs share a pattern.
+    runs: Vec<(Vec<Link>, u64)>,
+    /// Cached total slot count (the sum of multiplicities), kept in sync by
+    /// every mutator so `length` is O(1).
+    total: u64,
 }
 
 impl Schedule {
@@ -27,22 +59,44 @@ impl Schedule {
     /// Creates a schedule from explicit slots, normalizing the link order
     /// inside every slot (slot contents are sets; order carries no meaning).
     pub fn from_slots(slots: Vec<Vec<Link>>) -> Self {
-        let mut s = Self { slots };
-        for slot in &mut s.slots {
-            slot.sort_unstable();
-            slot.dedup();
+        Self::from_runs(slots.into_iter().map(|links| (links, 1)))
+    }
+
+    /// Creates a schedule from `(pattern, multiplicity)` runs, normalizing
+    /// patterns, dropping zero-multiplicity runs and merging adjacent runs
+    /// with equal patterns.
+    pub fn from_runs(runs: impl IntoIterator<Item = (Vec<Link>, u64)>) -> Self {
+        let mut s = Self::new();
+        for (links, count) in runs {
+            s.push_slot_run(links, count);
         }
         s
     }
 
     /// Number of slots (the schedule length `T` the paper minimizes).
     pub fn length(&self) -> usize {
-        self.slots.len()
+        self.total as usize
+    }
+
+    /// Number of distinct consecutive slot patterns — the size of the compact
+    /// representation, which bounds the cost of run-aware consumers like the
+    /// verifier.
+    pub fn pattern_count(&self) -> usize {
+        self.runs.len()
     }
 
     /// Returns `true` if the schedule has no slots.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.runs.is_empty()
+    }
+
+    /// The maximal runs `(pattern, multiplicity)` in slot order. Iterating
+    /// runs instead of [`slots`](Self::slots) is what makes heavy-demand
+    /// schedules cheap to verify and measure.
+    pub fn runs(&self) -> impl Iterator<Item = (&[Link], u64)> + '_ {
+        self.runs
+            .iter()
+            .map(|(links, count)| (links.as_slice(), *count))
     }
 
     /// The links scheduled in slot `t`.
@@ -51,48 +105,107 @@ impl Schedule {
     ///
     /// Panics if `t` is out of range.
     pub fn slot(&self, t: usize) -> &[Link] {
-        &self.slots[t]
+        self.find_run(t)
+            .map(|(run, _)| self.runs[run].0.as_slice())
+            .unwrap_or_else(|| panic!("slot {t} out of range (length {})", self.length()))
     }
 
-    /// Iterator over the slots in order.
+    /// Iterator over the slots in order. Expands runs — prefer
+    /// [`runs`](Self::runs) for heavy-demand schedules.
     pub fn slots(&self) -> impl Iterator<Item = &[Link]> + '_ {
-        self.slots.iter().map(Vec::as_slice)
+        self.runs
+            .iter()
+            .flat_map(|(links, count)| std::iter::repeat_n(links.as_slice(), *count as usize))
     }
 
-    /// Appends a new slot containing the given links and returns its index.
+    /// Expands the schedule into one `Vec<Link>` per slot — the seed's
+    /// representation, kept for round-trip tests and per-slot consumers.
+    pub fn expand(&self) -> Vec<Vec<Link>> {
+        self.slots().map(<[Link]>::to_vec).collect()
+    }
+
+    /// Appends a new slot containing the given links and returns its index,
+    /// in O(pattern) (the cached length makes the index free).
     pub fn push_slot(&mut self, links: Vec<Link>) -> usize {
+        self.push_slot_run(links, 1);
+        (self.total - 1) as usize
+    }
+
+    /// Appends `count` consecutive slots with the same `links` pattern in
+    /// O(pattern) — the run-length fast path the greedy scheduler and the
+    /// serialized baseline use for leftover demand. A zero `count` is a
+    /// no-op.
+    pub fn push_slot_run(&mut self, links: Vec<Link>, count: u64) {
+        if count == 0 {
+            return;
+        }
         let mut links = links;
         links.sort_unstable();
         links.dedup();
-        self.slots.push(links);
-        self.slots.len() - 1
+        self.total += count;
+        match self.runs.last_mut() {
+            Some((pattern, multiplicity)) if *pattern == links => *multiplicity += count,
+            _ => self.runs.push((links, count)),
+        }
     }
 
     /// Adds `link` to slot `t`, extending the schedule with empty slots if
     /// `t` is beyond the current length. Adding a link twice to the same slot
     /// has no effect.
+    ///
+    /// Costs O(#patterns): the run containing `t` is split around the
+    /// modified slot and the run list re-canonicalized.
     pub fn assign(&mut self, t: usize, link: Link) {
-        while self.slots.len() <= t {
-            self.slots.push(Vec::new());
+        let length = self.length();
+        if t >= length {
+            self.push_slot_run(Vec::new(), (t - length + 1) as u64);
         }
-        let slot = &mut self.slots[t];
-        if !slot.contains(&link) {
-            slot.push(link);
-            slot.sort_unstable();
+        let (run, offset) = self
+            .find_run(t)
+            .expect("slot t exists after the extension above");
+        let (pattern, count) = &self.runs[run];
+        if pattern.contains(&link) {
+            return;
         }
+        let mut with_link = pattern.clone();
+        with_link.push(link);
+        with_link.sort_unstable();
+        let count = *count;
+        // Split the run into (before, the modified slot, after) and replace
+        // it. The pieces are pairwise distinct (old vs old+link), so the only
+        // adjacencies that can need re-merging are the two outer boundaries.
+        let (old_pattern, _) = self.runs.remove(run);
+        let mut insert = run;
+        let mut pieces = 1usize;
+        if offset > 0 {
+            self.runs
+                .insert(insert, (old_pattern.clone(), offset as u64));
+            insert += 1;
+            pieces += 1;
+        }
+        self.runs.insert(insert, (with_link, 1));
+        let after = count - offset as u64 - 1;
+        if after > 0 {
+            self.runs.insert(insert + 1, (old_pattern, after));
+            pieces += 1;
+        }
+        // Higher boundary first so the lower merge's index stays valid.
+        self.merge_into_predecessor(run + pieces);
+        self.merge_into_predecessor(run);
     }
 
     /// Whether slot `t` already contains `link`.
     pub fn contains(&self, t: usize, link: Link) -> bool {
-        self.slots.get(t).is_some_and(|s| s.contains(&link))
+        self.find_run(t)
+            .is_some_and(|(run, _)| self.runs[run].0.contains(&link))
     }
 
     /// Number of slots allocated to each link across the whole schedule.
     pub fn allocation_counts(&self) -> HashMap<Link, u64> {
         let mut counts = HashMap::new();
-        for slot in &self.slots {
-            for &link in slot {
-                *counts.entry(link).or_insert(0) += 1;
+        for (pattern, count) in &self.runs {
+            for &link in pattern {
+                *counts.entry(link).or_insert(0) += count;
             }
         }
         counts
@@ -100,20 +213,27 @@ impl Schedule {
 
     /// Number of slots in which `link` appears.
     pub fn allocated_to(&self, link: Link) -> u64 {
-        self.slots.iter().filter(|s| s.contains(&link)).count() as u64
+        self.runs
+            .iter()
+            .filter(|(pattern, _)| pattern.contains(&link))
+            .map(|(_, count)| count)
+            .sum()
     }
 
     /// Total number of (link, slot) transmission opportunities in the
     /// schedule.
     pub fn total_transmissions(&self) -> u64 {
-        self.slots.iter().map(|s| s.len() as u64).sum()
+        self.runs
+            .iter()
+            .map(|(pattern, count)| pattern.len() as u64 * count)
+            .sum()
     }
 
     /// Average number of concurrent links per slot — the spatial-reuse factor
     /// the physical model is supposed to unlock relative to serialized
     /// (one-link-per-slot) scheduling.
     pub fn spatial_reuse(&self) -> f64 {
-        if self.slots.is_empty() {
+        if self.runs.is_empty() {
             return 0.0;
         }
         self.total_transmissions() as f64 / self.length() as f64
@@ -122,31 +242,67 @@ impl Schedule {
     /// Removes trailing empty slots (produced by some distributed runs when a
     /// round seals an empty slot at termination).
     pub fn trim_empty_slots(&mut self) {
-        while self.slots.last().is_some_and(Vec::is_empty) {
-            self.slots.pop();
+        while self.runs.last().is_some_and(|(p, _)| p.is_empty()) {
+            let (_, count) = self.runs.pop().expect("checked non-empty");
+            self.total -= count;
         }
     }
 
     /// All distinct nodes that appear as an endpoint of any scheduled link.
     pub fn participating_nodes(&self) -> Vec<NodeId> {
         let mut ids: Vec<NodeId> = self
-            .slots
+            .runs
             .iter()
-            .flatten()
+            .flat_map(|(pattern, _)| pattern.iter())
             .flat_map(|l| [l.head, l.tail])
             .collect();
         ids.sort_unstable();
         ids.dedup();
         ids
     }
+
+    /// Locates the run containing slot `t`, returning `(run_index, offset)`
+    /// where `offset` is `t`'s position inside the run.
+    fn find_run(&self, t: usize) -> Option<(usize, usize)> {
+        let mut start = 0usize;
+        for (i, (_, count)) in self.runs.iter().enumerate() {
+            let end = start + *count as usize;
+            if t < end {
+                return Some((i, t - start));
+            }
+            start = end;
+        }
+        None
+    }
+
+    /// Merges run `i` into run `i - 1` if their patterns are equal — the O(1)
+    /// boundary repair [`assign`](Self::assign) uses after splicing a run.
+    fn merge_into_predecessor(&mut self, i: usize) {
+        if i == 0 || i >= self.runs.len() || self.runs[i - 1].0 != self.runs[i].0 {
+            return;
+        }
+        let (_, count) = self.runs.remove(i);
+        self.runs[i - 1].1 += count;
+    }
 }
 
 impl std::fmt::Display for Schedule {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "schedule with {} slots:", self.length())?;
-        for (t, slot) in self.slots.iter().enumerate() {
-            let links: Vec<String> = slot.iter().map(|l| l.to_string()).collect();
-            writeln!(f, "  slot {t:>3}: {}", links.join(", "))?;
+        let mut start = 0usize;
+        for (pattern, count) in &self.runs {
+            let links: Vec<String> = pattern.iter().map(|l| l.to_string()).collect();
+            if *count == 1 {
+                writeln!(f, "  slot {start:>3}: {}", links.join(", "))?;
+            } else {
+                writeln!(
+                    f,
+                    "  slots {start}..={} (x{count}): {}",
+                    start + *count as usize - 1,
+                    links.join(", ")
+                )?;
+            }
+            start += *count as usize;
         }
         Ok(())
     }
@@ -167,6 +323,7 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.spatial_reuse(), 0.0);
         assert!(s.participating_nodes().is_empty());
+        assert_eq!(s.pattern_count(), 0);
     }
 
     #[test]
@@ -202,6 +359,69 @@ mod tests {
         let a = Schedule::from_slots(vec![vec![link(3, 2), link(1, 0), link(1, 0)]]);
         let b = Schedule::from_slots(vec![vec![link(1, 0), link(3, 2)]]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_consecutive_slots_share_one_run() {
+        let mut s = Schedule::new();
+        for _ in 0..1000 {
+            s.push_slot(vec![link(1, 0)]);
+        }
+        s.push_slot_run(vec![link(3, 2)], 1_000_000);
+        assert_eq!(s.length(), 1_001_000);
+        assert_eq!(s.pattern_count(), 2);
+        assert_eq!(s.allocated_to(link(3, 2)), 1_000_000);
+        assert_eq!(s.total_transmissions(), 1_001_000);
+        assert_eq!(s.slot(999), &[link(1, 0)]);
+        assert_eq!(s.slot(1000), &[link(3, 2)]);
+    }
+
+    #[test]
+    fn run_construction_equals_slot_construction() {
+        let by_runs = Schedule::from_runs(vec![
+            (vec![link(1, 0)], 3),
+            (vec![link(3, 2), link(1, 0)], 1),
+            (vec![link(1, 0)], 0), // dropped
+            (vec![link(1, 0)], 2),
+        ]);
+        let by_slots = Schedule::from_slots(vec![
+            vec![link(1, 0)],
+            vec![link(1, 0)],
+            vec![link(1, 0)],
+            vec![link(1, 0), link(3, 2)],
+            vec![link(1, 0)],
+            vec![link(1, 0)],
+        ]);
+        assert_eq!(by_runs, by_slots);
+        assert_eq!(by_runs.pattern_count(), 3);
+    }
+
+    #[test]
+    fn adjacent_equal_runs_are_merged_to_a_canonical_form() {
+        let a = Schedule::from_runs(vec![(vec![link(1, 0)], 2), (vec![link(1, 0)], 3)]);
+        let b = Schedule::from_runs(vec![(vec![link(1, 0)], 5)]);
+        assert_eq!(a, b);
+        assert_eq!(a.pattern_count(), 1);
+    }
+
+    #[test]
+    fn assign_splits_and_remerges_runs() {
+        // A run of 5 identical slots; assigning into the middle splits it.
+        let mut s = Schedule::from_runs(vec![(vec![link(1, 0)], 5)]);
+        s.assign(2, link(3, 2));
+        assert_eq!(s.length(), 5);
+        assert_eq!(s.pattern_count(), 3);
+        assert_eq!(s.slot(1), &[link(1, 0)]);
+        assert_eq!(s.slot(2), &[link(1, 0), link(3, 2)]);
+        assert_eq!(s.slot(3), &[link(1, 0)]);
+        // Filling the rest re-merges into a single run.
+        for t in [0, 1, 3, 4] {
+            s.assign(t, link(3, 2));
+        }
+        assert_eq!(s.pattern_count(), 1);
+        assert_eq!(s.allocated_to(link(3, 2)), 5);
+        // The round-trip through the expanded form is exact.
+        assert_eq!(Schedule::from_slots(s.expand()), s);
     }
 
     #[test]
@@ -265,5 +485,12 @@ mod tests {
         assert!(text.contains("2 slots"));
         assert!(text.contains("n1->n0"));
         assert!(text.contains("n3->n2"));
+        // Runs display as compact ranges rather than one line per slot.
+        let mut heavy = Schedule::new();
+        heavy.push_slot_run(vec![link(1, 0)], 1_000_000);
+        let text = heavy.to_string();
+        assert!(text.contains("1000000 slots"));
+        assert!(text.contains("x1000000"));
+        assert!(text.lines().count() < 5);
     }
 }

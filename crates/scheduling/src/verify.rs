@@ -11,6 +11,14 @@
 //! (k probes of O(k) each) with no intermediate `Vec` cloning, and an
 //! infeasible slot is reported together with every link's SINR margin so the
 //! failing handshake direction is visible in the error itself.
+//!
+//! Verification walks the schedule's run-length form
+//! ([`Schedule::runs`]): every distinct consecutive slot pattern is checked
+//! **once** regardless of its multiplicity, and a single accumulator is
+//! [`clear`](crate::feasibility::SlotAccumulator::clear)ed and refilled
+//! across patterns instead of being reallocated per slot — verifying a
+//! million-slot heavy-demand schedule costs O(#patterns · k²), not
+//! O(#slots · k²).
 
 use scream_topology::{Link, LinkDemands};
 
@@ -90,18 +98,20 @@ impl std::fmt::Display for ScheduleViolation {
 
 impl std::error::Error for ScheduleViolation {}
 
-/// Re-checks one slot through the model's accumulator, returning the
-/// violation (with margins) if the slot is infeasible.
+/// Re-checks one slot pattern through a reused accumulator, returning the
+/// violation (with margins) if the pattern is infeasible. `index` is the
+/// first slot the pattern occupies.
 ///
 /// Building incrementally is equivalent to checking the whole set because
 /// interference models are downward-closed — see the
 /// [`feasibility`](crate::feasibility) module docs.
 fn check_slot<M: SlotFeasibility>(
     model: &M,
+    accumulator: &mut (impl crate::feasibility::SlotAccumulator + ?Sized),
     index: usize,
     links: &[Link],
 ) -> Result<(), ScheduleViolation> {
-    let mut accumulator = model.open_slot();
+    accumulator.clear();
     for &link in links {
         if !accumulator.can_add(link) {
             return Err(ScheduleViolation::InfeasibleSlot {
@@ -127,13 +137,16 @@ pub fn verify_schedule<M: SlotFeasibility>(
     schedule: &Schedule,
     demands: &LinkDemands,
 ) -> Result<(), ScheduleViolation> {
-    // Every scheduled link must be a demanded link.
-    for (t, slot) in schedule.slots().enumerate() {
-        for &l in slot {
+    // Every scheduled link must be a demanded link (checked per pattern; the
+    // reported slot is the first one the pattern occupies).
+    let mut t = 0usize;
+    for (pattern, count) in schedule.runs() {
+        for &l in pattern {
             if demands.demand_of_link(l).is_none() {
                 return Err(ScheduleViolation::UnknownLink { link: l, slot: t });
             }
         }
+        t += count as usize;
     }
     // Every slot must be feasible.
     verify_slots_feasible(model, schedule)?;
@@ -157,10 +170,13 @@ pub fn verify_slots_feasible<M: SlotFeasibility>(
     model: &M,
     schedule: &Schedule,
 ) -> Result<(), ScheduleViolation> {
-    for (t, slot) in schedule.slots().enumerate() {
-        if !slot.is_empty() {
-            check_slot(model, t, slot)?;
+    let mut accumulator = model.open_slot();
+    let mut t = 0usize;
+    for (pattern, count) in schedule.runs() {
+        if !pattern.is_empty() {
+            check_slot(model, accumulator.as_mut(), t, pattern)?;
         }
+        t += count as usize;
     }
     Ok(())
 }
@@ -304,6 +320,47 @@ mod tests {
             vec![link(3, 2)],
         ]);
         verify_schedule(&EndpointOnly, &s, &demands()).unwrap();
+    }
+
+    #[test]
+    fn heavy_runs_are_verified_once_per_pattern() {
+        // A counting model proves the verifier pays per distinct pattern, not
+        // per slot: a million-slot schedule with two patterns costs a handful
+        // of probes and returns instantly.
+        struct Counting(std::cell::Cell<u64>);
+        impl SlotFeasibility for Counting {
+            fn slot_feasible(&self, links: &[Link]) -> bool {
+                self.0.set(self.0.get() + 1);
+                EndpointOnly.slot_feasible(links)
+            }
+        }
+        let demands =
+            LinkDemands::from_links(6, &[(link(1, 0), 1_000_000), (link(3, 2), 999_990)]).unwrap();
+        let mut s = Schedule::new();
+        s.push_slot_run(vec![link(1, 0), link(3, 2)], 999_990);
+        s.push_slot_run(vec![link(1, 0)], 10);
+        let model = Counting(std::cell::Cell::new(0));
+        verify_schedule(&model, &s, &demands).unwrap();
+        assert!(
+            model.0.get() <= 8,
+            "expected O(#patterns) probes, got {}",
+            model.0.get()
+        );
+    }
+
+    #[test]
+    fn infeasible_run_reports_its_first_slot_index() {
+        let mut s = Schedule::new();
+        s.push_slot_run(vec![link(1, 0)], 10);
+        s.push_slot_run(vec![link(1, 0), link(2, 1)], 5);
+        let err = verify_slots_feasible(&EndpointOnly, &s).unwrap_err();
+        match err {
+            ScheduleViolation::InfeasibleSlot { slot, links, .. } => {
+                assert_eq!(slot, 10, "first slot of the offending run");
+                assert_eq!(links.len(), 2);
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use scream::prelude::*;
-use scream::scheduling::EdgeOrdering;
+use scream::scheduling::{verify_slots_feasible, EdgeOrdering};
 
 /// Strategy: a connected-ish random deployment description (node count,
 /// region side and seed). Connectivity is ensured by retry inside the tests.
@@ -243,6 +243,114 @@ proptest! {
                 assigned.push(candidate);
             }
             prop_assert_eq!(ledger.slot_feasible(), env.slot_feasible(&assigned));
+        }
+    }
+
+    /// Batched run-level placement is decision-for-decision identical to the
+    /// seed's per-unit first-fit loop on randomized instances — arbitrary
+    /// density (via the region side), seed, SINR threshold β and every edge
+    /// ordering. This is the equivalence gate of the heavy-demand fast path.
+    #[test]
+    fn batched_placement_matches_per_unit(
+        (nodes, seed) in (6usize..=18, 0u64..5000),
+        side_scale in 90.0f64..220.0,
+        beta_db in 4.0f64..12.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
+        let side = side_scale * (nodes as f64).sqrt();
+        let deployment = UniformDeployment::new(nodes, side).build(&mut rng);
+        let env_builder = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0));
+        let env = env_builder
+            .config(scream::netsim::RadioConfig::mesh_default().with_sinr_threshold_db(beta_db))
+            .build(&deployment);
+        // Random demanded links with demands spanning several magnitudes.
+        let links: Vec<(Link, u64)> = (0..nodes as u32 / 2)
+            .map(|i| {
+                (
+                    Link::new(NodeId::new(2 * i + 1), NodeId::new(2 * i)),
+                    rng.gen_range(1u64..200),
+                )
+            })
+            .collect();
+        let demands = LinkDemands::from_links(nodes, &links).unwrap();
+        for ordering in [
+            EdgeOrdering::DecreasingHeadId,
+            EdgeOrdering::IncreasingHeadId,
+            EdgeOrdering::DecreasingDemand,
+            EdgeOrdering::IncreasingDemand,
+        ] {
+            let batched = GreedyPhysical::new(ordering).schedule(&env, &demands);
+            let per_unit = GreedyPhysical::new(ordering).schedule_per_unit(&env, &demands);
+            prop_assert_eq!(
+                &batched,
+                &per_unit,
+                "batched != per-unit for ordering {:?}, beta {} dB",
+                ordering,
+                beta_db
+            );
+            prop_assert_eq!(
+                verify_schedule(&env, &batched, &demands).is_ok(),
+                verify_schedule(&env, &per_unit, &demands).is_ok()
+            );
+        }
+    }
+
+    /// Run-length schedules round-trip through the expanded per-slot form:
+    /// compacting the expansion reproduces the schedule exactly (including
+    /// canonical merging), per-slot accessors agree with the expansion, and
+    /// the run-aware verifier agrees with a naive slot-by-slot feasibility
+    /// check on the expanded form.
+    #[test]
+    fn run_length_schedule_roundtrips(
+        seed in 0u64..5000,
+        runs in prop::collection::vec((0usize..6usize, 1u64..50), 1..12),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let side = 150.0 * 4.0;
+        let deployment = UniformDeployment::new(12, side).build(&mut rng);
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&deployment);
+        // A pool of patterns over 12 nodes: some feasible, some conflicting.
+        let pool: [Vec<Link>; 6] = [
+            vec![],
+            vec![Link::new(NodeId::new(1), NodeId::new(0))],
+            vec![Link::new(NodeId::new(3), NodeId::new(2))],
+            vec![
+                Link::new(NodeId::new(1), NodeId::new(0)),
+                Link::new(NodeId::new(3), NodeId::new(2)),
+            ],
+            vec![
+                Link::new(NodeId::new(1), NodeId::new(0)),
+                Link::new(NodeId::new(2), NodeId::new(1)),
+            ],
+            vec![Link::new(NodeId::new(5), NodeId::new(4))],
+        ];
+        let schedule = Schedule::from_runs(
+            runs.iter().map(|&(p, count)| (pool[p].clone(), count)),
+        );
+
+        // Round-trip: expand ≡ compact.
+        let expanded = schedule.expand();
+        prop_assert_eq!(expanded.len(), schedule.length());
+        prop_assert_eq!(&Schedule::from_slots(expanded.clone()), &schedule);
+        // Per-slot accessors agree with the expansion.
+        for (t, slot) in expanded.iter().enumerate().take(20) {
+            prop_assert_eq!(schedule.slot(t), slot.as_slice());
+        }
+        // The run-aware verifier agrees with a naive per-slot check.
+        let naive_feasible = expanded
+            .iter()
+            .all(|slot| slot.is_empty() || env.slot_feasible(slot));
+        prop_assert_eq!(
+            verify_slots_feasible(&env, &schedule).is_ok(),
+            naive_feasible
+        );
+        // Allocation counts agree with counting over expanded slots.
+        for (&link, &count) in schedule.allocation_counts().iter() {
+            let expanded_count = expanded.iter().filter(|s| s.contains(&link)).count() as u64;
+            prop_assert_eq!(count, expanded_count);
         }
     }
 
