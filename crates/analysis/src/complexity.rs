@@ -67,7 +67,12 @@ impl ComplexityReport {
         for &side in sides {
             observations.push(Self::measure(side, step_m, ProtocolKind::Fdd, seed));
             if include_pdd {
-                observations.push(Self::measure(side, step_m, ProtocolKind::pdd(0.6), seed));
+                observations.push(Self::measure(
+                    side,
+                    step_m,
+                    ProtocolKind::pdd_unchecked(0.6),
+                    seed,
+                ));
             }
         }
         Self { observations }

@@ -149,12 +149,20 @@ impl EquivalenceReport {
 /// Compares PDD against the centralized schedule on one grid instance and
 /// returns `(pdd_metrics, centralized_metrics)` — the per-instance data point
 /// behind the "PDD is ~10 points worse" observation of Section VI-B.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::InvalidParameter`](scream_core::ProtocolError)
+/// if `probability` is outside `(0, 1]`, propagated from
+/// [`DistributedScheduler::pdd`].
 pub fn pdd_vs_centralized(
     side: usize,
     step_m: f64,
     probability: f64,
     seed: u64,
-) -> (ScheduleMetrics, ScheduleMetrics) {
+) -> Result<(ScheduleMetrics, ScheduleMetrics), scream_core::ProtocolError> {
+    // Validate the caller-supplied probability before any expensive work.
+    let scheduler = DistributedScheduler::pdd(probability)?;
     let deployment = GridDeployment::new(side, side, step_m).build();
     let env = RadioEnvironment::builder()
         .propagation(PropagationModel::log_distance(3.0))
@@ -171,14 +179,14 @@ pub fn pdd_vs_centralized(
     let config = ProtocolConfig::paper_default()
         .with_scream_slots(env.interference_diameter().max(1))
         .with_seed(seed);
-    let pdd = DistributedScheduler::pdd(probability)
+    let pdd = scheduler
         .with_config(config)
         .run(&env, &link_demands)
-        .expect("PDD runs to completion");
-    (
+        .expect("PDD runs to completion on connected grid instances");
+    Ok((
         ScheduleMetrics::compute(&pdd.schedule, &link_demands),
         ScheduleMetrics::compute(&centralized, &link_demands),
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -209,9 +217,13 @@ mod tests {
 
     #[test]
     fn pdd_improvement_does_not_exceed_centralized_by_much() {
-        let (pdd, centralized) = pdd_vs_centralized(4, 150.0, 0.6, 5);
+        let (pdd, centralized) = pdd_vs_centralized(4, 150.0, 0.6, 5).unwrap();
         // PDD's schedule can never be shorter than the serialized bound allows
         // and in practice trails the centralized schedule.
+        assert!(
+            pdd_vs_centralized(4, 150.0, 1.5, 5).is_err(),
+            "out-of-range probabilities propagate as errors, not panics"
+        );
         assert!(pdd.length >= centralized.length);
         assert!(pdd.improvement_over_linear_pct <= centralized.improvement_over_linear_pct + 1e-9);
         assert!(centralized.improvement_over_linear_pct > 0.0);

@@ -40,7 +40,7 @@ fn bench_schedule_grid(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("pdd_0.6", density as u64),
             &instance,
-            |b, inst| b.iter(|| inst.run_protocol(ProtocolKind::pdd(0.6))),
+            |b, inst| b.iter(|| inst.run_protocol(ProtocolKind::pdd_unchecked(0.6))),
         );
     }
     group.finish();

@@ -21,7 +21,7 @@ fn bench_schedule_uniform(c: &mut Criterion) {
         b.iter(|| inst.run_protocol(ProtocolKind::Fdd))
     });
     group.bench_with_input(BenchmarkId::new("pdd_0.8", 36), &instance, |b, inst| {
-        b.iter(|| inst.run_protocol(ProtocolKind::pdd(0.8)))
+        b.iter(|| inst.run_protocol(ProtocolKind::pdd_unchecked(0.8)))
     });
     group.finish();
 }

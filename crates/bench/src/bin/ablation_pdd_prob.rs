@@ -19,7 +19,7 @@ fn main() {
         &["p", "improvement(%)", "time(s)", "tried fraction"],
     );
     for p in [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
-        let run = instance.run_protocol(ProtocolKind::pdd(p));
+        let run = instance.run_protocol(ProtocolKind::pdd_unchecked(p));
         let metrics = run.metrics(&instance.link_demands);
         table.push_row(vec![
             format!("{p:.2}"),

@@ -21,7 +21,7 @@ fn main() {
             .run_protocol(ProtocolKind::Fdd)
             .metrics(&instance.link_demands);
         let pdd = instance
-            .run_protocol(ProtocolKind::pdd(0.6))
+            .run_protocol(ProtocolKind::pdd_unchecked(0.6))
             .metrics(&instance.link_demands);
         table.push_values(
             format!("{sigma:.1}"),

@@ -1,17 +1,19 @@
 //! Quick deterministic bench summary: times the scheduling/feasibility hot
 //! paths with `std::time::Instant` (median of a few repetitions, fixed
 //! instances, no randomness) and writes the results — including the
-//! batched-vs-per-unit and ledger-vs-from-scratch speedup ratios — to
-//! `BENCH_schedule.json`, so the perf trajectory is tracked across PRs.
+//! batched-vs-per-unit and ledger-vs-from-scratch speedup ratios and the
+//! channel-ablation length ratios — to `BENCH_schedule.json`, so the perf
+//! trajectory is tracked across PRs.
 //!
 //! Usage: `cargo run --release -p scream-bench --bin bench_summary [--quick] [output.json]`
 //!
 //! `--quick` shrinks the heavy-demand point from 10⁴ to 10³ units per link
-//! and the repetition count, for CI smoke runs.
+//! and the repetition count, for CI smoke runs (the multi-channel
+//! `channel_count > 1` cases are exercised in both modes).
 
 use std::time::Instant;
 
-use scream_bench::{heavy_demand_instance, PaperScenario};
+use scream_bench::{heavy_demand_instance, heavy_demand_instance_on_channels, PaperScenario};
 use scream_scheduling::{verify_schedule, FromScratch, GreedyPhysical};
 
 /// One measured operation: a name, its median wall-clock time, and how many
@@ -129,10 +131,40 @@ fn main() {
         reps,
     });
 
-    let ratios = vec![
+    // Channel ablation: the channel-aware scheduler on the same 64-link
+    // instance with 2 and 4 orthogonal channels. The recorded ratios are
+    // single-channel length over C-channel length (≈ C when the schedule
+    // shrinks by the full 1/C, the acceptance regime).
+    let single_length = schedule.length() as f64;
+    let mut channel_ratios = Vec::new();
+    for (channels, measurement_name, ratio_name) in [
+        (
+            2usize,
+            "greedy_batched_heavy_c2",
+            "channel_ablation_length_c2",
+        ),
+        (4, "greedy_batched_heavy_c4", "channel_ablation_length_c4"),
+    ] {
+        let (env_c, demands_c) = heavy_demand_instance_on_channels(heavy_demand, channels);
+        eprintln!("# timing channel-aware placement ({channels} channels, same instance)...");
+        let timed = time_median(reps, || {
+            GreedyPhysical::paper_baseline().schedule(&env_c, &demands_c)
+        });
+        let multi = GreedyPhysical::paper_baseline().schedule(&env_c, &demands_c);
+        verify_schedule(&env_c, &multi, &demands_c).expect("multi-channel schedule verifies");
+        measurements.push(Measurement {
+            name: measurement_name,
+            median_secs: timed,
+            reps,
+        });
+        channel_ratios.push((ratio_name, single_length / multi.length().max(1) as f64));
+    }
+
+    let mut ratios = vec![
         ("batched_over_per_unit", per_unit / batched.max(1e-12)),
         ("ledger_over_from_scratch", from_scratch / ledger.max(1e-12)),
     ];
+    ratios.extend(channel_ratios);
     for (name, ratio) in &ratios {
         eprintln!("# {name}: {ratio:.1}x");
     }

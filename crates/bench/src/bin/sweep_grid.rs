@@ -1,12 +1,15 @@
 //! Parallel density sweep of the 64-node paper grid scenario via
-//! [`ScenarioSweep`]: the verified centralized baseline per (density, seed)
-//! cell, across all cores, with deterministic grid-ordered output.
+//! [`ScenarioSweep`]: the verified centralized baseline, the FDD protocol
+//! and the serialized baseline per (density, channel, seed) cell, across all
+//! cores, with deterministic grid-ordered output.
 //!
-//! Usage: `cargo run --release -p scream-bench --bin sweep_grid [seeds_per_density] [--csv]`
+//! Usage:
+//! `cargo run --release -p scream-bench --bin sweep_grid [seeds_per_density] [--channels 1,2,4] [--csv]`
 //!
 //! With `--csv` the cells are emitted as machine-readable CSV (via
-//! [`SweepReport::to_csv`]) instead of the aligned table, ready to pipe into
-//! a plotting tool or commit as a data artifact.
+//! [`SweepReport::to_csv`](scream_bench::SweepReport::to_csv)) instead of
+//! the aligned table, ready to pipe into a plotting tool or commit as a data
+//! artifact. `--channels` adds the channel-ablation axis to the grid.
 
 use std::time::Instant;
 
@@ -15,18 +18,39 @@ use scream_bench::{PaperScenario, ScenarioSweep};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
+    let channels: Vec<usize> = match args.iter().position(|a| a == "--channels") {
+        Some(i) => args
+            .get(i + 1)
+            .expect("--channels requires a comma-separated list, e.g. --channels 1,2,4")
+            .split(',')
+            .map(|c| c.parse().expect("--channels takes a comma-separated list"))
+            .collect(),
+        None => vec![1],
+    };
+    let mut skip_next = false;
     let seeds_per_density: u64 = args
         .iter()
-        .find(|a| *a != "--csv")
-        .and_then(|s| s.parse().ok())
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--channels" {
+                skip_next = true;
+                return false;
+            }
+            *a != "--csv"
+        })
+        .find_map(|s| s.parse().ok())
         .unwrap_or(3);
     let densities = [1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0];
     let seeds: Vec<u64> = (1..=seeds_per_density).collect();
     let sweep = ScenarioSweep::new(PaperScenario::grid(1_000.0))
         .densities(&densities)
+        .channel_counts(&channels)
         .seeds(&seeds);
     eprintln!(
-        "# sweep_grid: {} cells (density x seed), 64-node planned grid, all cores",
+        "# sweep_grid: {} cells (density x channel x seed), 64-node planned grid, all cores",
         sweep.len()
     );
     let start = Instant::now();
@@ -40,7 +64,7 @@ fn main() {
     println!(
         "{}",
         report.to_table(format!(
-            "Parallel density sweep — centralized baseline ({} cells in {:.2}s)",
+            "Parallel density sweep — centralized / FDD / linear ({} cells in {:.2}s)",
             report.points.len(),
             elapsed.as_secs_f64()
         ))

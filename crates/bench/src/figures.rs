@@ -10,9 +10,10 @@ use serde::{Deserialize, Serialize};
 use scream_core::ProtocolKind;
 use scream_mote::{DetectionErrorPoint, MoteExperiment, MoteExperimentConfig, RssiTrace};
 use scream_netsim::{ClockSkewConfig, SimTime};
+use scream_scheduling::{verify_schedule, GreedyPhysical};
 
 use crate::report::Table;
-use crate::scenario::PaperScenario;
+use crate::scenario::{heavy_demand_instance_on_channels, PaperScenario};
 
 /// One row of the Figure 6 series: percentage improvement over the serialized
 /// schedule, per protocol, at one density.
@@ -85,7 +86,7 @@ fn improvement_rows(
                     .metrics(&instance.link_demands);
                 let pdd = |p: f64| {
                     instance
-                        .run_protocol(ProtocolKind::pdd(p))
+                        .run_protocol(ProtocolKind::pdd_unchecked(p))
                         .metrics(&instance.link_demands)
                         .improvement_over_linear_pct
                 };
@@ -156,7 +157,7 @@ pub fn fig8_execution_time(
         .instantiate(seed);
     let run_pair = |config: scream_core::ProtocolConfig| {
         let fdd = instance.run_protocol_with(ProtocolKind::Fdd, config);
-        let pdd = instance.run_protocol_with(ProtocolKind::pdd(0.8), config);
+        let pdd = instance.run_protocol_with(ProtocolKind::pdd_unchecked(0.8), config);
         (fdd.execution_secs(), pdd.execution_secs())
     };
 
@@ -222,7 +223,7 @@ pub fn fig9_clock_skew(skews_secs: &[f64], node_count: usize, seed: u64) -> Vec<
             let config =
                 instance.config_with_skew(ClockSkewConfig::new(SimTime::from_secs_f64(skew)));
             let fdd = instance.run_protocol_with(ProtocolKind::Fdd, config);
-            let pdd = instance.run_protocol_with(ProtocolKind::pdd(0.2), config);
+            let pdd = instance.run_protocol_with(ProtocolKind::pdd_unchecked(0.2), config);
             ClockSkewRow {
                 skew_secs: skew,
                 fdd_secs: fdd.execution_secs(),
@@ -243,6 +244,86 @@ pub fn clock_skew_table(rows: &[ClockSkewRow]) -> Table {
             format!("{:.6}", row.skew_secs),
             format!("{:.2}", row.fdd_secs),
             format!("{:.2}", row.pdd_secs),
+        ]);
+    }
+    table
+}
+
+/// One row of the channel-ablation series: the verified channel-aware
+/// centralized schedule on the fixed 64-link heavy-demand instance, per
+/// channel count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelAblationRow {
+    /// Number of orthogonal channels.
+    pub channel_count: usize,
+    /// Length of the channel-aware centralized schedule.
+    pub slots: usize,
+    /// The ideal multi-channel length `ceil(single_channel_slots / C)`.
+    pub ideal_slots: usize,
+    /// `slots / ideal_slots` — 1.0 means the schedule achieves the full
+    /// `1/C` shrink; the acceptance bar is ≤ 1.1 (within 10 % of ideal).
+    pub ratio_vs_ideal: f64,
+    /// Average concurrent transmissions per slot, across all channels.
+    pub spatial_reuse: f64,
+}
+
+/// Channel-ablation data: the centralized schedule on the fixed 64-link
+/// heavy-demand instance ([`heavy_demand_instance_on_channels`]) for each
+/// requested channel count, each verified, compared against the ideal
+/// `ceil(L₁ / C)` shrink. The instance's links are pairwise
+/// endpoint-disjoint, so its conflicts are purely SINR-driven — exactly the
+/// regime where orthogonal channels multiply capacity (Halldórsson & Mitra;
+/// Zhou et al.).
+pub fn channel_ablation(demand_per_link: u64, channel_counts: &[usize]) -> Vec<ChannelAblationRow> {
+    let (env, demands) = heavy_demand_instance_on_channels(demand_per_link, 1);
+    let single = GreedyPhysical::paper_baseline().schedule(&env, &demands);
+    verify_schedule(&env, &single, &demands).expect("single-channel heavy schedule verifies");
+    channel_counts
+        .iter()
+        .map(|&channels| {
+            // The C = 1 row is the already-verified baseline itself.
+            let (length, spatial_reuse) = if channels == 1 {
+                (single.length(), single.spatial_reuse())
+            } else {
+                let (env, demands) = heavy_demand_instance_on_channels(demand_per_link, channels);
+                let schedule = GreedyPhysical::paper_baseline().schedule(&env, &demands);
+                verify_schedule(&env, &schedule, &demands)
+                    .expect("channel-aware heavy schedule verifies");
+                (schedule.length(), schedule.spatial_reuse())
+            };
+            let ideal_slots = single.length().div_ceil(channels);
+            ChannelAblationRow {
+                channel_count: channels,
+                slots: length,
+                ideal_slots,
+                ratio_vs_ideal: length as f64 / ideal_slots as f64,
+                spatial_reuse,
+            }
+        })
+        .collect()
+}
+
+/// Renders channel-ablation rows as a table.
+pub fn channel_ablation_table(demand_per_link: u64, rows: &[ChannelAblationRow]) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Channel ablation — 64-link heavy-demand instance, {demand_per_link} slots/link demand"
+        ),
+        &[
+            "channels",
+            "slots",
+            "ideal ceil(L1/C)",
+            "ratio vs ideal",
+            "spatial reuse",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.channel_count.to_string(),
+            row.slots.to_string(),
+            row.ideal_slots.to_string(),
+            format!("{:.3}", row.ratio_vs_ideal),
+            format!("{:.2}", row.spatial_reuse),
         ]);
     }
     table
@@ -356,6 +437,35 @@ mod tests {
         assert!(rows[2].pdd_secs > rows[0].pdd_secs);
         assert!(rows[0].fdd_secs > rows[0].pdd_secs);
         assert_eq!(clock_skew_table(&rows).row_count(), 3);
+    }
+
+    #[test]
+    fn channel_ablation_shrinks_the_schedule_by_one_over_c() {
+        // The acceptance criterion: on the fixed 64-link heavy-demand
+        // instance the channel-aware schedule length stays within 10 % of
+        // ceil(L1 / C) for C in {2, 4}.
+        let rows = channel_ablation(100, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].channel_count, 1);
+        assert_eq!(rows[0].slots, rows[0].ideal_slots, "C = 1 is its own ideal");
+        for row in &rows[1..] {
+            assert!(
+                row.ratio_vs_ideal <= 1.10,
+                "C = {} misses the 10% bar: {} slots vs ideal {}",
+                row.channel_count,
+                row.slots,
+                row.ideal_slots
+            );
+            assert!(
+                row.ratio_vs_ideal >= 1.0 - 1e-12,
+                "a verified schedule cannot beat the ideal shrink: {row:?}"
+            );
+        }
+        // Spatial reuse multiplies with the channel count on this instance.
+        assert!(rows[2].spatial_reuse > rows[0].spatial_reuse * 3.0);
+        let table = channel_ablation_table(100, &rows);
+        assert_eq!(table.row_count(), 3);
+        assert!(table.render().contains("ideal ceil(L1/C)"));
     }
 
     #[test]

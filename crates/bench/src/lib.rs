@@ -25,5 +25,8 @@ pub mod scenario;
 pub mod sweep;
 
 pub use report::Table;
-pub use scenario::{heavy_demand_instance, PaperScenario, ScenarioInstance, Topology};
+pub use scenario::{
+    heavy_demand_instance, heavy_demand_instance_on_channels, PaperScenario, ScenarioInstance,
+    Topology,
+};
 pub use sweep::{ScenarioSweep, SweepCell, SweepPoint, SweepReport};

@@ -57,6 +57,9 @@ pub struct PaperScenario {
     /// to a DSSS-rate 802.11 link and is the reproduction default (see
     /// EXPERIMENTS.md for the sensitivity of the figures to this choice).
     pub sinr_threshold_db: f64,
+    /// Number of orthogonal channels available to the schedulers (the paper
+    /// — and hence the default — is the single shared channel).
+    pub channel_count: usize,
 }
 
 impl PaperScenario {
@@ -72,6 +75,7 @@ impl PaperScenario {
             path_loss_exponent: 3.0,
             tx_power_dbm: 10.0,
             sinr_threshold_db: 6.0,
+            channel_count: 1,
         }
     }
 
@@ -109,6 +113,12 @@ impl PaperScenario {
         self
     }
 
+    /// Overrides the number of orthogonal channels.
+    pub fn with_channel_count(mut self, channels: usize) -> Self {
+        self.channel_count = channels;
+        self
+    }
+
     /// Builds one concrete instance of the scenario. The same seed always
     /// yields the same instance.
     ///
@@ -135,7 +145,8 @@ impl PaperScenario {
             .shadowing(self.shadowing_sigma_db, seed)
             .config(
                 scream_netsim::RadioConfig::mesh_default()
-                    .with_sinr_threshold_db(self.sinr_threshold_db),
+                    .with_sinr_threshold_db(self.sinr_threshold_db)
+                    .with_channel_count(self.channel_count),
             )
             .build(&deployment);
         let graph = env.communication_graph();
@@ -191,6 +202,17 @@ impl PaperScenario {
 /// that batched placement and run-length schedules make demand nearly free
 /// (the link set, and hence the packing problem, never changes).
 pub fn heavy_demand_instance(demand_per_link: u64) -> (RadioEnvironment, LinkDemands) {
+    heavy_demand_instance_on_channels(demand_per_link, 1)
+}
+
+/// [`heavy_demand_instance`] with `channel_count` orthogonal channels — the
+/// channel-ablation instance: the 64 links are pairwise endpoint-disjoint, so
+/// their conflicts are purely SINR-driven and orthogonal channels shrink the
+/// schedule by almost exactly `1/C`.
+pub fn heavy_demand_instance_on_channels(
+    demand_per_link: u64,
+    channel_count: usize,
+) -> (RadioEnvironment, LinkDemands) {
     use scream_topology::{Link, NodeId};
 
     const COLUMNS: usize = 16;
@@ -198,6 +220,7 @@ pub fn heavy_demand_instance(demand_per_link: u64) -> (RadioEnvironment, LinkDem
     let deployment = GridDeployment::new(COLUMNS, ROWS, 150.0).build();
     let env = RadioEnvironment::builder()
         .propagation(PropagationModel::log_distance(3.0))
+        .config(scream_netsim::RadioConfig::mesh_default().with_channel_count(channel_count))
         .build(&deployment);
     let links: Vec<(Link, u64)> = (0..ROWS)
         .flat_map(|row| {

@@ -1,17 +1,17 @@
-//! Parallel density × seed scenario sweeps.
+//! Parallel density × channel × seed scenario sweeps.
 //!
 //! The paper's evaluation (and every dense-scenario workload on the roadmap)
 //! is a grid of independent experiments: one [`PaperScenario`] family,
-//! swept over node densities, with several seeds per density. Each cell is
-//! pure — [`PaperScenario::instantiate`] is deterministic per seed and
-//! `RadioEnvironment` is `Sync` — and since the interference-ledger refactor
-//! all scheduling state is per-slot-local, so cells parallelize across cores
-//! with no shared mutable state.
+//! swept over node densities (and optionally channel counts), with several
+//! seeds per cell. Each cell is pure — [`PaperScenario::instantiate`] is
+//! deterministic per seed and `RadioEnvironment` is `Sync` — and since the
+//! interference-ledger refactor all scheduling state is per-slot-local, so
+//! cells parallelize across cores with no shared mutable state.
 //!
 //! [`ScenarioSweep`] runs the grid via rayon's `par_iter`, preserving cell
 //! order, which makes parallel sweeps **deterministic**: the result vector
-//! for a given (scenario, densities, seeds) triple is identical however many
-//! worker threads execute it, cell by cell, byte for byte.
+//! for a given (scenario, densities, channels, seeds) tuple is identical
+//! however many worker threads execute it, cell by cell, byte for byte.
 //!
 //! ```
 //! use scream_bench::{PaperScenario, ScenarioSweep};
@@ -26,17 +26,19 @@
 
 use rayon::prelude::*;
 
-use scream_scheduling::{verify_schedule, ScheduleMetrics};
+use scream_core::ProtocolKind;
+use scream_scheduling::{serialized_schedule, verify_schedule, ScheduleMetrics};
 
 use crate::report::Table;
 use crate::scenario::{PaperScenario, ScenarioInstance};
 
-/// A density × seed grid of paper-scenario experiments, executed across all
-/// available cores.
+/// A density × channel × seed grid of paper-scenario experiments, executed
+/// across all available cores.
 #[derive(Debug, Clone)]
 pub struct ScenarioSweep {
     base: PaperScenario,
     densities: Vec<f64>,
+    channel_counts: Vec<usize>,
     seeds: Vec<u64>,
 }
 
@@ -45,18 +47,23 @@ pub struct ScenarioSweep {
 pub struct SweepCell<T> {
     /// Node density of this cell, in nodes per km².
     pub density_per_km2: f64,
+    /// Number of orthogonal channels of this cell.
+    pub channel_count: usize,
     /// Instance seed of this cell.
     pub seed: u64,
     /// Whatever the sweep's function computed on the instance.
     pub value: T,
 }
 
-/// The default per-cell result of [`ScenarioSweep::run`]: the centralized
-/// GreedyPhysical baseline, verified, with its schedule metrics.
+/// The default per-cell result of [`ScenarioSweep::run`]: the verified
+/// centralized GreedyPhysical schedule plus the FDD and serialized-baseline
+/// comparisons, with their schedule metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Node density of this cell, in nodes per km².
     pub density_per_km2: f64,
+    /// Number of orthogonal channels of this cell.
+    pub channel_count: usize,
     /// Instance seed of this cell.
     pub seed: u64,
     /// Measured interference diameter of the drawn instance.
@@ -65,6 +72,13 @@ pub struct SweepPoint {
     pub total_demand: u64,
     /// Schedule metrics of the verified centralized GreedyPhysical schedule.
     pub centralized: ScheduleMetrics,
+    /// Schedule metrics of the verified FDD run on the same instance. FDD is
+    /// a single-channel protocol, so on multi-channel cells this column shows
+    /// what the distributed protocol leaves on the table against the
+    /// channel-aware centralized schedule.
+    pub fdd: ScheduleMetrics,
+    /// Schedule metrics of the serialized (one link per slot) baseline.
+    pub linear: ScheduleMetrics,
 }
 
 impl ScenarioSweep {
@@ -76,6 +90,7 @@ impl ScenarioSweep {
         Self {
             base,
             densities: vec![base.density_per_km2],
+            channel_counts: vec![base.channel_count],
             seeds: vec![0],
         }
     }
@@ -87,25 +102,40 @@ impl ScenarioSweep {
         self
     }
 
-    /// Sets the seeds to run per density.
+    /// Sets the channel counts to sweep (the channel-ablation axis).
+    pub fn channel_counts(mut self, channel_counts: &[usize]) -> Self {
+        assert!(
+            !channel_counts.is_empty(),
+            "sweep needs at least one channel count"
+        );
+        self.channel_counts = channel_counts.to_vec();
+        self
+    }
+
+    /// Sets the seeds to run per (density, channel count).
     pub fn seeds(mut self, seeds: &[u64]) -> Self {
         assert!(!seeds.is_empty(), "sweep needs at least one seed");
         self.seeds = seeds.to_vec();
         self
     }
 
-    /// The density × seed coordinate grid, in row-major (density-major)
-    /// order — the order every `run` variant returns its cells in.
-    pub fn grid(&self) -> Vec<(f64, u64)> {
+    /// The (density, channel count, seed) coordinate grid, density-major,
+    /// then channel-major, then by seed — the order every `run` variant
+    /// returns its cells in.
+    pub fn grid(&self) -> Vec<(f64, usize, u64)> {
         self.densities
             .iter()
-            .flat_map(|&d| self.seeds.iter().map(move |&s| (d, s)))
+            .flat_map(|&d| {
+                self.channel_counts
+                    .iter()
+                    .flat_map(move |&c| self.seeds.iter().map(move |&s| (d, c, s)))
+            })
             .collect()
     }
 
     /// Number of cells in the sweep.
     pub fn len(&self) -> usize {
-        self.densities.len() * self.seeds.len()
+        self.densities.len() * self.channel_counts.len() * self.seeds.len()
     }
 
     /// Whether the sweep grid is empty (never, given the constructors).
@@ -123,12 +153,14 @@ impl ScenarioSweep {
         let base = self.base;
         self.grid()
             .into_par_iter()
-            .map(|(density, seed)| {
+            .map(|(density, channels, seed)| {
                 let mut scenario = base;
                 scenario.density_per_km2 = density;
+                scenario.channel_count = channels;
                 let instance = scenario.instantiate(seed);
                 SweepCell {
                     density_per_km2: density,
+                    channel_count: channels,
                     seed,
                     value: f(&instance),
                 }
@@ -142,8 +174,9 @@ impl ScenarioSweep {
         SweepReport { points: self.run() }
     }
 
-    /// Runs the centralized GreedyPhysical baseline on every cell in
-    /// parallel, verifying each schedule against its instance.
+    /// Runs the centralized GreedyPhysical baseline, the FDD protocol and
+    /// the serialized baseline on every cell in parallel, verifying the
+    /// centralized and FDD schedules against their instance.
     ///
     /// # Panics
     ///
@@ -155,21 +188,30 @@ impl ScenarioSweep {
             let schedule = instance.run_centralized();
             verify_schedule(&instance.env, &schedule, &instance.link_demands)
                 .expect("centralized schedule must verify on every sweep cell");
+            let fdd = instance.run_protocol(ProtocolKind::Fdd);
+            verify_schedule(&instance.env, &fdd.schedule, &instance.link_demands)
+                .expect("FDD schedule must verify on every sweep cell");
+            let linear = serialized_schedule(&instance.link_demands);
             (
                 instance.interference_diameter,
                 instance.link_demands.total_demand(),
                 instance.metrics(&schedule),
+                instance.metrics(&fdd.schedule),
+                instance.metrics(&linear),
             )
         })
         .into_iter()
         .map(|cell| {
-            let (interference_diameter, total_demand, centralized) = cell.value;
+            let (interference_diameter, total_demand, centralized, fdd, linear) = cell.value;
             SweepPoint {
                 density_per_km2: cell.density_per_km2,
+                channel_count: cell.channel_count,
                 seed: cell.seed,
                 interference_diameter,
                 total_demand,
                 centralized,
+                fdd,
+                linear,
             }
         })
         .collect()
@@ -178,6 +220,10 @@ impl ScenarioSweep {
 
 /// The collected result of a [`ScenarioSweep::report`] run, exportable as
 /// CSV (for plotting pipelines) or as an aligned text [`Table`] (for eyes).
+///
+/// The per-protocol columns (centralized, FDD, serialized baseline) come
+/// from one shared [`row`](Self::row) helper, so the CSV and table exports
+/// can never drift apart in column count or order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     /// Per-cell results in grid (density-major) order.
@@ -186,8 +232,9 @@ pub struct SweepReport {
 
 impl SweepReport {
     /// Column headers shared by the CSV and table exports.
-    const COLUMNS: [&'static str; 8] = [
+    const COLUMNS: [&'static str; 13] = [
         "density_per_km2",
+        "channel_count",
         "seed",
         "interference_diameter",
         "total_demand",
@@ -195,11 +242,16 @@ impl SweepReport {
         "improvement_pct",
         "spatial_reuse",
         "patterns",
+        "fdd_slots",
+        "fdd_spatial_reuse",
+        "linear_slots",
+        "linear_spatial_reuse",
     ];
 
     fn row(p: &SweepPoint) -> Vec<String> {
         vec![
             format!("{:.0}", p.density_per_km2),
+            p.channel_count.to_string(),
             p.seed.to_string(),
             p.interference_diameter.to_string(),
             p.total_demand.to_string(),
@@ -207,12 +259,20 @@ impl SweepReport {
             format!("{:.2}", p.centralized.improvement_over_linear_pct),
             format!("{:.3}", p.centralized.spatial_reuse),
             p.centralized.pattern_count.to_string(),
+            p.fdd.length.to_string(),
+            format!("{:.3}", p.fdd.spatial_reuse),
+            p.linear.length.to_string(),
+            format!("{:.3}", p.linear.spatial_reuse),
         ]
     }
 
-    /// Renders the report as RFC-4180-style CSV (header row + one row per
-    /// cell, `\n` line endings), in grid order — the machine-readable export
-    /// the ROADMAP's dense-scenario workloads pipe into plotting tools.
+    /// Renders the report as plain comma-separated CSV — a header row plus
+    /// one row per cell, fields joined by `,` and rows terminated by `\n`
+    /// (no CRLF, no quoting; every field is numeric, so none is ever
+    /// needed), in grid order. This is the machine-readable export the
+    /// ROADMAP's dense-scenario workloads pipe into plotting tools; the
+    /// exact contract is pinned by the `csv_contract_is_plain_newline_csv`
+    /// test.
     pub fn to_csv(&self) -> String {
         let mut out = Self::COLUMNS.join(",");
         out.push('\n');
@@ -250,9 +310,23 @@ mod tests {
         assert_eq!(sweep.len(), 6);
         assert!(!sweep.is_empty());
         let grid = sweep.grid();
-        assert_eq!(grid[0], (1_500.0, 1));
-        assert_eq!(grid[2], (1_500.0, 3));
-        assert_eq!(grid[3], (4_000.0, 1));
+        assert_eq!(grid[0], (1_500.0, 1, 1));
+        assert_eq!(grid[2], (1_500.0, 1, 3));
+        assert_eq!(grid[3], (4_000.0, 1, 1));
+    }
+
+    #[test]
+    fn grid_includes_the_channel_axis() {
+        let sweep = ScenarioSweep::new(PaperScenario::grid(2_000.0).with_node_count(16))
+            .densities(&[1_500.0, 4_000.0])
+            .channel_counts(&[1, 2])
+            .seeds(&[7, 8]);
+        assert_eq!(sweep.len(), 8);
+        let grid = sweep.grid();
+        assert_eq!(grid[0], (1_500.0, 1, 7));
+        assert_eq!(grid[1], (1_500.0, 1, 8));
+        assert_eq!(grid[2], (1_500.0, 2, 7));
+        assert_eq!(grid[4], (4_000.0, 1, 7));
     }
 
     #[test]
@@ -263,8 +337,9 @@ mod tests {
         assert_eq!(first, second, "same grid must reproduce identical results");
         // Results come back in grid order, and the per-cell instances match a
         // sequential instantiation of the same coordinates.
-        for (point, (density, seed)) in first.iter().zip(sweep.grid()) {
+        for (point, (density, channels, seed)) in first.iter().zip(sweep.grid()) {
             assert_eq!(point.density_per_km2, density);
+            assert_eq!(point.channel_count, channels);
             assert_eq!(point.seed, seed);
             assert!(point.total_demand > 0);
             assert!(point.interference_diameter >= 1);
@@ -278,17 +353,23 @@ mod tests {
         let sequential: Vec<SweepPoint> = sweep
             .grid()
             .into_iter()
-            .map(|(density, seed)| {
+            .map(|(density, channels, seed)| {
                 let mut scenario = PaperScenario::grid(2_000.0).with_node_count(16);
                 scenario.density_per_km2 = density;
+                scenario.channel_count = channels;
                 let instance = scenario.instantiate(seed);
                 let schedule = instance.run_centralized();
+                let fdd = instance.run_protocol(scream_core::ProtocolKind::Fdd);
+                let linear = serialized_schedule(&instance.link_demands);
                 SweepPoint {
                     density_per_km2: density,
+                    channel_count: channels,
                     seed,
                     interference_diameter: instance.interference_diameter,
                     total_demand: instance.link_demands.total_demand(),
                     centralized: instance.metrics(&schedule),
+                    fdd: instance.metrics(&fdd.schedule),
+                    linear: instance.metrics(&linear),
                 }
             })
             .collect();
@@ -306,6 +387,43 @@ mod tests {
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.value > 0));
         assert_eq!(cells[0].seed, 5);
+        assert_eq!(cells[0].channel_count, 1);
+    }
+
+    #[test]
+    fn per_protocol_columns_cover_fdd_and_the_linear_baseline() {
+        let sweep = ScenarioSweep::new(PaperScenario::grid(2_000.0).with_node_count(16))
+            .densities(&[1_500.0])
+            .seeds(&[1, 2]);
+        for p in sweep.run() {
+            // Theorem 4: FDD recreates the centralized schedule on
+            // single-channel cells.
+            assert_eq!(p.fdd.length, p.centralized.length);
+            assert_eq!(p.linear.length as u64, p.total_demand);
+            assert!((p.linear.spatial_reuse - 1.0).abs() < 1e-12);
+            assert!(p.linear.improvement_over_linear_pct.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_channel_cells_shorten_the_centralized_schedule_only() {
+        let base = PaperScenario::grid(2_000.0).with_node_count(16);
+        let sweep = ScenarioSweep::new(base)
+            .densities(&[2_500.0])
+            .channel_counts(&[1, 2])
+            .seeds(&[4]);
+        let points = sweep.run();
+        assert_eq!(points.len(), 2);
+        let (single, dual) = (&points[0], &points[1]);
+        assert_eq!(single.channel_count, 1);
+        assert_eq!(dual.channel_count, 2);
+        // Same instance draw per seed, so TD matches; the channel-aware
+        // centralized schedule can only shrink, while single-channel FDD
+        // cannot exploit the extra channel.
+        assert_eq!(single.total_demand, dual.total_demand);
+        assert!(dual.centralized.length <= single.centralized.length);
+        assert_eq!(dual.fdd.length, single.fdd.length);
+        assert!(dual.centralized.channels_used >= 1);
     }
 
     #[test]
@@ -315,16 +433,39 @@ mod tests {
         let csv = report.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 1 + sweep.len());
-        assert!(lines[0].starts_with("density_per_km2,seed,"));
+        assert!(lines[0].starts_with("density_per_km2,channel_count,seed,"));
         let columns = lines[0].split(',').count();
         assert!(lines.iter().all(|l| l.split(',').count() == columns));
         // Rows come in grid order and reproduce deterministically.
-        assert!(lines[1].starts_with("1500,1,"));
+        assert!(lines[1].starts_with("1500,1,1,"));
         assert_eq!(csv, sweep.report().to_csv());
-        // The table export shares the same columns.
+        // The table export shares the same columns, kept in lockstep by the
+        // shared row() helper.
         let table = report.to_table("sweep");
         assert_eq!(table.row_count(), sweep.len());
-        assert!(table.render().contains("improvement_pct"));
+        let rendered = table.render();
+        for column in SweepReport::COLUMNS {
+            assert!(rendered.contains(column), "table misses column {column}");
+        }
+    }
+
+    #[test]
+    fn csv_contract_is_plain_newline_csv() {
+        // The documented contract: `\n` row terminators (no CRLF), no quoting
+        // (fields are numeric and never contain commas), header + one row per
+        // cell, trailing newline.
+        let report = ScenarioSweep::new(PaperScenario::grid(2_000.0).with_node_count(16))
+            .seeds(&[1])
+            .report();
+        let csv = report.to_csv();
+        assert!(!csv.contains('\r'), "rows must be \\n-terminated, not CRLF");
+        assert!(!csv.contains('"'), "fields are never quoted");
+        assert!(csv.ends_with('\n'));
+        assert_eq!(csv.matches('\n').count(), 1 + report.points.len());
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), SweepReport::COLUMNS.len());
+            assert!(line.split(',').all(|field| !field.is_empty()));
+        }
     }
 
     #[test]

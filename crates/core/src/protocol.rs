@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::ProtocolError;
+
 /// Which distributed scheduling protocol a runtime executes.
 ///
 /// All three variants share the same round structure (leader election, then
@@ -36,15 +38,31 @@ pub enum ProtocolKind {
 impl ProtocolKind {
     /// PDD with the given activation probability.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidParameter`] if the probability is not
+    /// in `(0, 1]` (NaN included) — library code must not panic on a
+    /// caller-supplied parameter. Call sites with compile-time-constant
+    /// probabilities (benches, figure binaries) can use
+    /// [`pdd_unchecked`](Self::pdd_unchecked) instead.
+    pub fn pdd(probability: f64) -> Result<Self, ProtocolError> {
+        if probability > 0.0 && probability <= 1.0 {
+            Ok(ProtocolKind::Pdd { probability })
+        } else {
+            Err(ProtocolError::InvalidParameter(format!(
+                "PDD activation probability must be in (0, 1], got {probability}"
+            )))
+        }
+    }
+
+    /// PDD with the given activation probability, panicking on out-of-range
+    /// values — the infallible variant for constant probabilities.
+    ///
     /// # Panics
     ///
     /// Panics if the probability is not in `(0, 1]`.
-    pub fn pdd(probability: f64) -> Self {
-        assert!(
-            probability > 0.0 && probability <= 1.0,
-            "PDD activation probability must be in (0, 1], got {probability}"
-        );
-        ProtocolKind::Pdd { probability }
+    pub fn pdd_unchecked(probability: f64) -> Self {
+        Self::pdd(probability).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The FDD protocol.
@@ -88,27 +106,33 @@ mod tests {
     fn constructors_and_names() {
         assert_eq!(ProtocolKind::fdd().name(), "FDD");
         assert_eq!(ProtocolKind::afdd().name(), "AFDD");
-        assert_eq!(ProtocolKind::pdd(0.2).name(), "PDD(p=0.2)");
-        assert_eq!(ProtocolKind::pdd(0.2).to_string(), "PDD(p=0.2)");
+        assert_eq!(ProtocolKind::pdd(0.2).unwrap().name(), "PDD(p=0.2)");
+        assert_eq!(ProtocolKind::pdd_unchecked(0.2).to_string(), "PDD(p=0.2)");
     }
 
     #[test]
     fn determinism_flags() {
         assert!(ProtocolKind::fdd().is_deterministic());
         assert!(ProtocolKind::afdd().is_deterministic());
-        assert!(!ProtocolKind::pdd(0.5).is_deterministic());
+        assert!(!ProtocolKind::pdd_unchecked(0.5).is_deterministic());
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_errors_not_panics() {
+        for bad in [0.0, -0.3, 1.5, f64::NAN, f64::INFINITY] {
+            let err = ProtocolKind::pdd(bad).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::InvalidParameter(_)),
+                "expected InvalidParameter for {bad}, got {err:?}"
+            );
+            assert!(err.to_string().contains("probability"), "{err}");
+        }
     }
 
     #[test]
     #[should_panic(expected = "probability")]
-    fn zero_probability_is_rejected() {
-        let _ = ProtocolKind::pdd(0.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "probability")]
-    fn probability_above_one_is_rejected() {
-        let _ = ProtocolKind::pdd(1.5);
+    fn unchecked_constructor_still_panics_out_of_range() {
+        let _ = ProtocolKind::pdd_unchecked(1.5);
     }
 
     #[test]
@@ -116,7 +140,7 @@ mod tests {
         // p = 1 makes PDD try every dormant node at once, a useful stress
         // case in tests.
         assert_eq!(
-            ProtocolKind::pdd(1.0),
+            ProtocolKind::pdd(1.0).unwrap(),
             ProtocolKind::Pdd { probability: 1.0 }
         );
     }

@@ -47,11 +47,16 @@ impl DistributedScheduler {
 
     /// PDD with activation probability `p` and the paper's default
     /// configuration.
-    pub fn pdd(probability: f64) -> Self {
-        Self::new(
-            ProtocolKind::pdd(probability),
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidParameter`] if the probability is not
+    /// in `(0, 1]` (propagated from [`ProtocolKind::pdd`]).
+    pub fn pdd(probability: f64) -> Result<Self, ProtocolError> {
+        Ok(Self::new(
+            ProtocolKind::pdd(probability)?,
             ProtocolConfig::paper_default(),
-        )
+        ))
     }
 
     /// AFDD with the paper's default configuration.
@@ -452,6 +457,7 @@ mod tests {
         let (_, env, ld) = grid_instance(4, 150.0, 5);
         for p in [0.2, 0.6, 0.8] {
             let run = DistributedScheduler::pdd(p)
+                .expect("PDD activation probability is in (0, 1]")
                 .with_config(config_for(&env))
                 .run(&env, &ld)
                 .unwrap();
@@ -469,6 +475,7 @@ mod tests {
             .run(&env, &ld)
             .unwrap();
         let pdd = DistributedScheduler::pdd(0.6)
+            .expect("PDD activation probability is in (0, 1]")
             .with_config(config_for(&env))
             .run(&env, &ld)
             .unwrap();
@@ -494,16 +501,19 @@ mod tests {
         assert_eq!(fdd_a.schedule, fdd_b.schedule);
 
         let pdd_a = DistributedScheduler::pdd(0.3)
+            .expect("PDD activation probability is in (0, 1]")
             .with_config(config_for(&env).with_seed(1))
             .run(&env, &ld)
             .unwrap();
         let pdd_b = DistributedScheduler::pdd(0.3)
+            .expect("PDD activation probability is in (0, 1]")
             .with_config(config_for(&env).with_seed(2))
             .run(&env, &ld)
             .unwrap();
         // Same seed must reproduce exactly; different seeds generally differ
         // in schedule or at least in iteration counts.
         let pdd_a2 = DistributedScheduler::pdd(0.3)
+            .expect("PDD activation probability is in (0, 1]")
             .with_config(config_for(&env).with_seed(1))
             .run(&env, &ld)
             .unwrap();
@@ -569,6 +579,7 @@ mod tests {
             .run(&env, &ld)
             .unwrap();
         let pdd = DistributedScheduler::pdd(0.6)
+            .expect("PDD activation probability is in (0, 1]")
             .with_config(config_for(&env))
             .run(&env, &ld)
             .unwrap();

@@ -52,6 +52,13 @@ impl RadioEnvironment {
         &self.config
     }
 
+    /// Number of orthogonal channels the configuration provides. Interference
+    /// (and hence every SINR feasibility question) only accrues among links
+    /// that share a channel; the gain matrix itself is channel-independent.
+    pub fn channel_count(&self) -> usize {
+        self.config.channel_count
+    }
+
     /// The deterministic propagation model in force.
     pub fn propagation(&self) -> &PropagationModel {
         &self.propagation

@@ -44,6 +44,7 @@
 use scream_topology::{Link, NodeId};
 
 use crate::environment::RadioEnvironment;
+use crate::radio::ChannelId;
 
 /// Per-link SINR slack relative to the threshold β, in dB.
 ///
@@ -454,12 +455,167 @@ impl<'a> SlotLedger<'a> {
     }
 }
 
+/// Incremental interference state of one **multi-channel** STDMA slot under
+/// construction: one [`SlotLedger`] per orthogonal channel plus a
+/// cross-channel node-occupancy table.
+///
+/// Channels are orthogonal, so interference sums (and every per-channel SINR
+/// decision) live entirely inside the per-channel ledgers; the only coupling
+/// between channels is the **cross-channel half-duplex rule**: a node has a
+/// single radio, so it may not participate in links on two different
+/// channels of the same slot. The occupancy table makes that an O(1) check.
+///
+/// Like [`SlotLedger`], the set has a [`clear`](Self::clear) lifecycle so one
+/// ledger set serves every slot of a schedule (the verifier) or every round
+/// of a run — buffers are retained across `clear`s.
+///
+/// With one channel the set degenerates exactly to its single [`SlotLedger`]:
+/// the cross-channel check is vacuous (there is no *other* channel), so
+/// [`can_add`](Self::can_add) and [`slot_feasible`](Self::slot_feasible)
+/// agree decision-for-decision with the plain ledger.
+#[derive(Debug, Clone)]
+pub struct ChannelSlotLedger<'a> {
+    channels: Vec<SlotLedger<'a>>,
+    /// How many assigned links (across all channels) touch each node.
+    node_uses: Vec<u32>,
+    /// Whether no node participates in links on two distinct channels.
+    cross_channel_disjoint: bool,
+}
+
+impl<'a> ChannelSlotLedger<'a> {
+    /// Opens an empty ledger set with `channel_count` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_count` is zero.
+    pub fn new(env: &'a RadioEnvironment, channel_count: usize) -> Self {
+        assert!(channel_count >= 1, "at least one channel is required");
+        Self {
+            channels: (0..channel_count).map(|_| SlotLedger::new(env)).collect(),
+            node_uses: vec![0; env.node_count()],
+            cross_channel_disjoint: true,
+        }
+    }
+
+    /// Number of channels in the set.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The per-channel ledger for `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel(&self, channel: ChannelId) -> &SlotLedger<'a> {
+        &self.channels[channel.index()]
+    }
+
+    /// Empties every channel and the occupancy table in O(k) without
+    /// releasing any buffer, mirroring [`SlotLedger::clear`].
+    pub fn clear(&mut self) {
+        for ledger in &mut self.channels {
+            for link in &ledger.links {
+                self.node_uses[link.head.index()] -= 1;
+                self.node_uses[link.tail.index()] -= 1;
+            }
+            ledger.clear();
+        }
+        self.cross_channel_disjoint = true;
+    }
+
+    /// Total number of assigned links across all channels.
+    pub fn len(&self) -> usize {
+        self.channels.iter().map(SlotLedger::len).sum()
+    }
+
+    /// Whether no link has been assigned on any channel.
+    pub fn is_empty(&self) -> bool {
+        self.channels.iter().all(SlotLedger::is_empty)
+    }
+
+    /// Whether `link` is assigned on any channel.
+    pub fn contains_link(&self, link: Link) -> bool {
+        self.channels.iter().any(|l| l.contains(link))
+    }
+
+    /// Whether neither endpoint of `link` is used by any assigned link on
+    /// **any** channel — the half-duplex precondition for joining the slot on
+    /// whichever channel.
+    pub fn endpoints_free(&self, link: Link) -> bool {
+        self.node_uses[link.head.index()] == 0 && self.node_uses[link.tail.index()] == 0
+    }
+
+    /// Whether `candidate` can join the slot on `channel`: its endpoints must
+    /// be idle on every *other* channel (one radio per node), and it must
+    /// pass the per-channel [`SlotLedger::can_add`] check (half-duplex within
+    /// the channel plus both SINR handshake directions).
+    pub fn can_add(&self, channel: ChannelId, candidate: Link) -> bool {
+        let ledger = &self.channels[channel.index()];
+        for node in [candidate.head, candidate.tail] {
+            if self.node_uses[node.index()] > ledger.endpoint_uses[node.index()] {
+                return false;
+            }
+        }
+        ledger.can_add(candidate)
+    }
+
+    /// Adds `link` to the slot on `channel`, unconditionally (mirroring
+    /// [`SlotLedger::assign`]): force-assigned cross-channel conflicts are
+    /// tracked and surfaced through [`slot_feasible`](Self::slot_feasible).
+    pub fn assign(&mut self, channel: ChannelId, link: Link) {
+        let ledger = &mut self.channels[channel.index()];
+        for node in [link.head, link.tail] {
+            if self.node_uses[node.index()] > ledger.endpoint_uses[node.index()] {
+                self.cross_channel_disjoint = false;
+            }
+            self.node_uses[node.index()] += 1;
+        }
+        ledger.assign(link);
+    }
+
+    /// The links assigned to `channel`, in assignment order.
+    pub fn links(&self, channel: ChannelId) -> &[Link] {
+        self.channels[channel.index()].links()
+    }
+
+    /// Every `(channel, link)` assignment, channel-major.
+    pub fn assignments(&self) -> impl Iterator<Item = (ChannelId, Link)> + '_ {
+        self.channels.iter().enumerate().flat_map(|(c, ledger)| {
+            ledger
+                .links()
+                .iter()
+                .map(move |&link| (ChannelId(c as u16), link))
+        })
+    }
+
+    /// Whether the assigned multi-channel set is a feasible slot: every
+    /// channel is feasible on its own ([`SlotLedger::slot_feasible`]) and no
+    /// node appears on two distinct channels.
+    pub fn slot_feasible(&self) -> bool {
+        self.cross_channel_disjoint && self.channels.iter().all(SlotLedger::slot_feasible)
+    }
+
+    /// Per-link SINR margins of `channel`'s slot, in dB relative to β.
+    pub fn margins(&self, channel: ChannelId) -> Vec<LinkSinrMargin> {
+        self.channels[channel.index()].margins()
+    }
+}
+
 impl RadioEnvironment {
     /// Opens an empty [`SlotLedger`] over this environment — the incremental
     /// equivalent of probing slots with
     /// [`can_add_to_slot`](RadioEnvironment::can_add_to_slot).
     pub fn open_slot_ledger(&self) -> SlotLedger<'_> {
         SlotLedger::new(self)
+    }
+
+    /// Opens an empty [`ChannelSlotLedger`] with one [`SlotLedger`] per
+    /// configured channel (see [`RadioConfig::channel_count`]).
+    ///
+    /// [`RadioConfig::channel_count`]: crate::radio::RadioConfig::channel_count
+    pub fn open_channel_ledger(&self) -> ChannelSlotLedger<'_> {
+        ChannelSlotLedger::new(self, self.channel_count())
     }
 }
 
@@ -643,6 +799,103 @@ mod tests {
         assert_eq!(reused.links(), fresh.links());
         assert_eq!(reused.slot_feasible(), fresh.slot_feasible());
         assert_eq!(reused.margins(), fresh.margins());
+    }
+
+    #[test]
+    fn single_channel_ledger_set_degenerates_to_the_plain_ledger() {
+        // With one channel the set must agree decision-for-decision with a
+        // plain SlotLedger on the same assignment sequence.
+        let env = line_env(10, 200.0);
+        let mut set = ChannelSlotLedger::new(&env, 1);
+        let mut plain = env.open_slot_ledger();
+        for candidate in [link(0, 1), link(4, 5), link(1, 2), link(8, 9), link(3, 3)] {
+            assert_eq!(
+                set.can_add(ChannelId::ZERO, candidate),
+                plain.can_add(candidate),
+                "single-channel divergence for {candidate}"
+            );
+            if set.can_add(ChannelId::ZERO, candidate) {
+                set.assign(ChannelId::ZERO, candidate);
+                plain.assign(candidate);
+            }
+            assert_eq!(set.slot_feasible(), plain.slot_feasible());
+        }
+        assert_eq!(set.links(ChannelId::ZERO), plain.links());
+        assert_eq!(set.len(), plain.len());
+        assert_eq!(set.margins(ChannelId::ZERO), plain.margins());
+    }
+
+    #[test]
+    fn channels_are_orthogonal_but_share_node_radios() {
+        // (0,1) and (2,3) are too close to share a single channel, yet they
+        // coexist on different channels; (1,2) touches busy nodes and is
+        // rejected on *every* channel (one radio per node).
+        let env = line_env(8, 200.0);
+        assert!(!env.slot_feasible(&[link(0, 1), link(2, 3)]));
+        let mut set = env.open_channel_ledger();
+        assert_eq!(set.channel_count(), 1, "mesh default is single-channel");
+
+        let mut set2 = ChannelSlotLedger::new(&env, 2);
+        assert!(set2.can_add(ChannelId::new(0), link(0, 1)));
+        set2.assign(ChannelId::new(0), link(0, 1));
+        assert!(
+            !set2.can_add(ChannelId::new(0), link(2, 3)),
+            "same channel keeps the SINR conflict"
+        );
+        assert!(
+            set2.can_add(ChannelId::new(1), link(2, 3)),
+            "the orthogonal channel removes it"
+        );
+        set2.assign(ChannelId::new(1), link(2, 3));
+        assert!(set2.slot_feasible());
+        assert!(set2.contains_link(link(2, 3)));
+        assert!(!set2.endpoints_free(link(1, 4)));
+        assert!(
+            !set2.can_add(ChannelId::new(1), link(1, 4)),
+            "node 1 is already busy on channel 0"
+        );
+        assert_eq!(set2.len(), 2);
+        assert_eq!(
+            set2.assignments().collect::<Vec<_>>(),
+            vec![
+                (ChannelId::new(0), link(0, 1)),
+                (ChannelId::new(1), link(2, 3))
+            ]
+        );
+        set.clear();
+    }
+
+    #[test]
+    fn force_assigned_cross_channel_conflicts_are_tracked_and_cleared() {
+        let env = line_env(8, 200.0);
+        let mut set = ChannelSlotLedger::new(&env, 2);
+        set.assign(ChannelId::new(0), link(0, 1));
+        set.assign(ChannelId::new(1), link(1, 2));
+        assert!(
+            !set.slot_feasible(),
+            "node 1 on two channels breaks half-duplex"
+        );
+        assert!(set.channel(ChannelId::new(0)).slot_feasible());
+        assert!(set.channel(ChannelId::new(1)).slot_feasible());
+        // clear() restores a fresh, reusable set.
+        set.clear();
+        assert!(set.is_empty());
+        assert!(set.slot_feasible());
+        assert!(set.endpoints_free(link(1, 2)));
+        let mut fresh = ChannelSlotLedger::new(&env, 2);
+        for (c, l) in [
+            (ChannelId::new(1), link(0, 1)),
+            (ChannelId::new(0), link(6, 7)),
+        ] {
+            assert_eq!(set.can_add(c, l), fresh.can_add(c, l));
+            set.assign(c, l);
+            fresh.assign(c, l);
+        }
+        assert_eq!(set.slot_feasible(), fresh.slot_feasible());
+        assert_eq!(
+            set.assignments().collect::<Vec<_>>(),
+            fresh.assignments().collect::<Vec<_>>()
+        );
     }
 
     #[test]

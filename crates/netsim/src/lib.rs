@@ -53,9 +53,9 @@ pub use clock::{ClockModel, ClockSkewConfig};
 pub use des::{EventQueue, ScheduledEvent};
 pub use environment::{RadioEnvironment, RadioEnvironmentBuilder};
 pub use error::NetsimError;
-pub use ledger::{LedgerProbe, LinkSinrMargin, SlotLedger};
+pub use ledger::{ChannelSlotLedger, LedgerProbe, LinkSinrMargin, SlotLedger};
 pub use propagation::{PropagationModel, ShadowingField};
-pub use radio::RadioConfig;
+pub use radio::{ChannelId, RadioConfig};
 pub use timing::{ProtocolTiming, SlotTiming};
 pub use units::{DataRate, SimTime};
 
@@ -65,9 +65,9 @@ pub mod prelude {
     pub use crate::des::{EventQueue, ScheduledEvent};
     pub use crate::environment::{RadioEnvironment, RadioEnvironmentBuilder};
     pub use crate::error::NetsimError;
-    pub use crate::ledger::{LedgerProbe, LinkSinrMargin, SlotLedger};
+    pub use crate::ledger::{ChannelSlotLedger, LedgerProbe, LinkSinrMargin, SlotLedger};
     pub use crate::propagation::{PropagationModel, ShadowingField};
-    pub use crate::radio::RadioConfig;
+    pub use crate::radio::{ChannelId, RadioConfig};
     pub use crate::timing::{ProtocolTiming, SlotTiming};
     pub use crate::units::{DataRate, SimTime};
 }

@@ -5,6 +5,40 @@ use serde::{Deserialize, Serialize};
 
 use crate::units::DataRate;
 
+/// Identifier of one orthogonal frequency channel.
+///
+/// The physical interference model is per-channel: transmissions on
+/// different channels do not interfere, so interference sums (and hence
+/// SINR feasibility) only accrue among links assigned to the same channel.
+/// Channel 0 is the single shared channel of the original SCREAM setting;
+/// multi-channel scenarios index channels `0..channel_count` (see
+/// [`RadioConfig::channel_count`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ChannelId(pub u16);
+
+impl ChannelId {
+    /// The default (single-channel) channel.
+    pub const ZERO: ChannelId = ChannelId(0);
+
+    /// Creates a channel id.
+    pub fn new(id: u16) -> Self {
+        ChannelId(id)
+    }
+
+    /// The channel id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
 /// Physical-layer parameters shared by all nodes in a radio environment.
 ///
 /// The SINR threshold `β` is the constant from the physical interference
@@ -29,6 +63,10 @@ pub struct RadioConfig {
     pub data_packet_bytes: usize,
     /// Size of a link-layer ACK, in bytes.
     pub ack_bytes: usize,
+    /// Number of orthogonal frequency channels available to the schedulers.
+    /// Interference only accrues within a channel; the original SCREAM
+    /// setting is `1` (a single shared channel).
+    pub channel_count: usize,
 }
 
 impl RadioConfig {
@@ -43,6 +81,7 @@ impl RadioConfig {
             data_rate: DataRate::MBPS_11,
             data_packet_bytes: 1500,
             ack_bytes: 38,
+            channel_count: 1,
         }
     }
 
@@ -72,6 +111,22 @@ impl RadioConfig {
     /// Sets the data rate.
     pub fn with_data_rate(mut self, rate: DataRate) -> Self {
         self.data_rate = rate;
+        self
+    }
+
+    /// Sets the number of orthogonal channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero (there must always be at least the one
+    /// shared channel) or does not fit a [`ChannelId`].
+    pub fn with_channel_count(mut self, channels: usize) -> Self {
+        assert!(channels >= 1, "at least one channel is required");
+        assert!(
+            channels <= u16::MAX as usize + 1,
+            "channel count {channels} exceeds the ChannelId range"
+        );
+        self.channel_count = channels;
         self
     }
 
@@ -144,6 +199,28 @@ mod tests {
         assert_eq!(c.noise_floor_dbm, -95.0);
         assert_eq!(c.carrier_sense_threshold_dbm, -85.0);
         assert_eq!(c.data_rate, DataRate::from_mbps(54));
+    }
+
+    #[test]
+    fn default_channel_count_is_single_channel() {
+        assert_eq!(RadioConfig::mesh_default().channel_count, 1);
+        let c = RadioConfig::mesh_default().with_channel_count(4);
+        assert_eq!(c.channel_count, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_are_rejected() {
+        let _ = RadioConfig::mesh_default().with_channel_count(0);
+    }
+
+    #[test]
+    fn channel_ids_order_index_and_display() {
+        assert_eq!(ChannelId::ZERO, ChannelId::new(0));
+        assert_eq!(ChannelId::default(), ChannelId::ZERO);
+        assert!(ChannelId::new(1) > ChannelId::ZERO);
+        assert_eq!(ChannelId::new(3).index(), 3);
+        assert_eq!(ChannelId::new(2).to_string(), "ch2");
     }
 
     #[test]

@@ -28,8 +28,8 @@
 //! incremental building to coincide with whole-set feasibility; interference
 //! models are, since removing a transmitter can only reduce interference.
 
-use scream_netsim::RadioEnvironment;
-pub use scream_netsim::{LinkSinrMargin, SlotLedger};
+pub use scream_netsim::{ChannelId, LinkSinrMargin, SlotLedger};
+use scream_netsim::{ChannelSlotLedger, RadioEnvironment};
 use scream_topology::{Graph, Link, NodeId};
 
 /// Stateful, incrementally-built view of one slot under construction.
@@ -71,6 +71,53 @@ pub trait SlotAccumulator {
     }
 }
 
+/// Stateful, incrementally-built view of one **multi-channel** slot under
+/// construction: one per-channel sub-slot per orthogonal channel, plus the
+/// cross-channel half-duplex rule (a node has a single radio, so it may not
+/// participate in links on two different channels of the same slot).
+///
+/// Obtained from [`SlotFeasibility::open_channel_slot`]. With one channel
+/// every method degenerates exactly to the single-channel
+/// [`SlotAccumulator`]: the cross-channel check is vacuous (there is no
+/// *other* channel for a node to be busy on), so channel-aware schedulers
+/// make byte-identical decisions to the single-channel ones at `C = 1`.
+pub trait ChannelSlotAccumulator {
+    /// Number of channels in the slot.
+    fn channel_count(&self) -> usize;
+
+    /// Whether `candidate` can join the slot on `channel` without breaking
+    /// per-channel feasibility or the cross-channel half-duplex rule.
+    fn can_add(&self, channel: ChannelId, candidate: Link) -> bool;
+
+    /// Adds `link` to the slot on `channel` unconditionally (the same
+    /// contract as [`SlotAccumulator::assign`]).
+    fn assign(&mut self, channel: ChannelId, link: Link);
+
+    /// Empties every channel without releasing buffers, so one accumulator
+    /// can be reused across many slots.
+    fn clear(&mut self);
+
+    /// The links assigned to `channel` so far, in assignment order.
+    fn links(&self, channel: ChannelId) -> &[Link];
+
+    /// Whether `link` is assigned on any channel.
+    fn contains_link(&self, link: Link) -> bool {
+        (0..self.channel_count()).any(|c| self.links(ChannelId::new(c as u16)).contains(&link))
+    }
+
+    /// Total number of links assigned across all channels.
+    fn len(&self) -> usize {
+        (0..self.channel_count())
+            .map(|c| self.links(ChannelId::new(c as u16)).len())
+            .sum()
+    }
+
+    /// Whether no link has been assigned on any channel.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Interference-model interface used by the schedulers.
 pub trait SlotFeasibility {
     /// Whether the whole set of links can transmit concurrently in one slot.
@@ -101,9 +148,72 @@ pub trait SlotFeasibility {
 
     /// Per-link SINR margins of the given slot, in dB relative to the
     /// model's threshold, for diagnostics. Models without a notion of SINR
-    /// (e.g. graph-based protocol models) return an empty vector.
+    /// (e.g. graph-based models) return an empty vector.
     fn slot_margins(&self, _links: &[Link]) -> Vec<LinkSinrMargin> {
         Vec::new()
+    }
+
+    /// Number of orthogonal channels the model provides. Interference only
+    /// accrues within a channel; the single shared channel of the original
+    /// SCREAM setting is the default.
+    fn channel_count(&self) -> usize {
+        1
+    }
+
+    /// Opens a stateful accumulator for building one **multi-channel** slot
+    /// incrementally, with [`channel_count`](Self::channel_count) channels.
+    ///
+    /// The default composes one [`open_slot`](Self::open_slot) accumulator
+    /// per channel with a generic cross-channel occupancy list (correct for
+    /// any model); [`RadioEnvironment`] overrides it with the O(1)-occupancy
+    /// [`ChannelSlotLedger`](scream_netsim::ChannelSlotLedger).
+    fn open_channel_slot(&self) -> Box<dyn ChannelSlotAccumulator + '_> {
+        Box::new(GenericChannelAccumulator {
+            channels: (0..self.channel_count().max(1))
+                .map(|_| self.open_slot())
+                .collect(),
+            occupancy: Vec::new(),
+        })
+    }
+}
+
+/// The fallback multi-channel accumulator behind the default
+/// [`SlotFeasibility::open_channel_slot`]: one per-channel accumulator plus
+/// an O(k)-scan `(node, channel)` occupancy list for the cross-channel
+/// half-duplex rule.
+struct GenericChannelAccumulator<'a> {
+    channels: Vec<Box<dyn SlotAccumulator + 'a>>,
+    occupancy: Vec<(NodeId, ChannelId)>,
+}
+
+impl ChannelSlotAccumulator for GenericChannelAccumulator<'_> {
+    fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    fn can_add(&self, channel: ChannelId, candidate: Link) -> bool {
+        let busy_elsewhere = self
+            .occupancy
+            .iter()
+            .any(|&(node, c)| c != channel && (node == candidate.head || node == candidate.tail));
+        !busy_elsewhere && self.channels[channel.index()].can_add(candidate)
+    }
+
+    fn assign(&mut self, channel: ChannelId, link: Link) {
+        self.occupancy.push((link.head, channel));
+        self.occupancy.push((link.tail, channel));
+        self.channels[channel.index()].assign(link);
+    }
+
+    fn clear(&mut self) {
+        self.occupancy.clear();
+        for accumulator in &mut self.channels {
+            accumulator.clear();
+        }
+    }
+
+    fn links(&self, channel: ChannelId) -> &[Link] {
+        self.channels[channel.index()].links()
     }
 }
 
@@ -130,6 +240,42 @@ impl<M: SlotFeasibility + ?Sized> SlotAccumulator for RecheckAccumulator<'_, M> 
 
     fn links(&self) -> &[Link] {
         &self.links
+    }
+}
+
+/// Adapter exposing the netsim [`ChannelSlotLedger`] through the
+/// multi-channel accumulator interface.
+struct ChannelLedgerAccumulator<'a> {
+    ledger: ChannelSlotLedger<'a>,
+}
+
+impl ChannelSlotAccumulator for ChannelLedgerAccumulator<'_> {
+    fn channel_count(&self) -> usize {
+        self.ledger.channel_count()
+    }
+
+    fn can_add(&self, channel: ChannelId, candidate: Link) -> bool {
+        self.ledger.can_add(channel, candidate)
+    }
+
+    fn assign(&mut self, channel: ChannelId, link: Link) {
+        self.ledger.assign(channel, link);
+    }
+
+    fn clear(&mut self) {
+        self.ledger.clear();
+    }
+
+    fn links(&self, channel: ChannelId) -> &[Link] {
+        self.ledger.links(channel)
+    }
+
+    fn contains_link(&self, link: Link) -> bool {
+        self.ledger.contains_link(link)
+    }
+
+    fn len(&self) -> usize {
+        self.ledger.len()
     }
 }
 
@@ -175,6 +321,16 @@ impl SlotFeasibility for RadioEnvironment {
     fn slot_margins(&self, links: &[Link]) -> Vec<LinkSinrMargin> {
         SlotLedger::with_links(self, links).margins()
     }
+
+    fn channel_count(&self) -> usize {
+        RadioEnvironment::channel_count(self)
+    }
+
+    fn open_channel_slot(&self) -> Box<dyn ChannelSlotAccumulator + '_> {
+        Box::new(ChannelLedgerAccumulator {
+            ledger: self.open_channel_ledger(),
+        })
+    }
 }
 
 /// Blanket implementation so shared references can be passed where an owner
@@ -195,6 +351,14 @@ impl<T: SlotFeasibility + ?Sized> SlotFeasibility for &T {
 
     fn slot_margins(&self, links: &[Link]) -> Vec<LinkSinrMargin> {
         (**self).slot_margins(links)
+    }
+
+    fn channel_count(&self) -> usize {
+        (**self).channel_count()
+    }
+
+    fn open_channel_slot(&self) -> Box<dyn ChannelSlotAccumulator + '_> {
+        (**self).open_channel_slot()
     }
 }
 
@@ -218,8 +382,14 @@ impl<M: SlotFeasibility> SlotFeasibility for FromScratch<M> {
         self.0.can_add(existing, candidate)
     }
 
-    // `open_slot` and `slot_margins` intentionally not forwarded: the
-    // defaults re-check through `can_add`, which is the point.
+    fn channel_count(&self) -> usize {
+        self.0.channel_count()
+    }
+
+    // `open_slot`, `open_channel_slot` and `slot_margins` intentionally not
+    // forwarded: the defaults re-check through `can_add`, which is the point
+    // (`channel_count` *is* forwarded so the from-scratch path makes the same
+    // multi-channel decisions, just the slow way).
 }
 
 /// The protocol interference model: a communication from `u` to `v` succeeds

@@ -16,8 +16,8 @@ use serde::{Deserialize, Serialize};
 
 use scream_topology::{Link, LinkDemands};
 
-use crate::feasibility::{SlotAccumulator, SlotFeasibility};
-use crate::schedule::Schedule;
+use crate::feasibility::{ChannelId, ChannelSlotAccumulator, SlotFeasibility};
+use crate::schedule::{Schedule, SlotPattern};
 
 /// Order in which GreedyPhysical considers the edges.
 ///
@@ -99,11 +99,26 @@ impl GreedyPhysical {
     /// feasibility for that link — so two consecutive slots with the same
     /// pattern accept or reject a candidate identically, and a whole run can
     /// be claimed (or skipped) with a *single* feasibility probe. Each link
-    /// therefore costs O(#patterns) probes and leftover demand is appended as
-    /// one run, making demand magnitude nearly free: the work and memory are
-    /// O(#links · #patterns), independent of how many units each link
-    /// demands. The probe itself stays O(k) through the model's stateful
-    /// [`SlotAccumulator`](crate::feasibility::SlotAccumulator).
+    /// therefore costs O(#patterns · #channels) probes and leftover demand is
+    /// appended as one run, making demand magnitude nearly free: the work and
+    /// memory are O(#links · #patterns), independent of how many units each
+    /// link demands. The probe itself stays O(k) through the model's stateful
+    /// [`ChannelSlotAccumulator`](crate::feasibility::ChannelSlotAccumulator).
+    ///
+    /// # Channels
+    ///
+    /// When the model provides several orthogonal channels
+    /// ([`SlotFeasibility::channel_count`]), each unit of demand is first-fit
+    /// into the cheapest `(slot, channel)` pair — slots scanned in order,
+    /// channels scanned in increasing order within each slot — so a link
+    /// rejected by a channel's accumulated interference lands on the first
+    /// orthogonal channel (of the same slot) that still accepts it, and the
+    /// schedule length shrinks roughly by the channel count on
+    /// interference-limited instances. The cross-channel half-duplex rule
+    /// (one radio per node) is enforced by the accumulator. With one channel
+    /// the channel loop degenerates and the decisions are byte-identical to
+    /// the single-channel scheduler — the `C = 1` reduction pinned by the
+    /// `single_channel_reduction_matches_per_unit` property test.
     ///
     /// Decision-for-decision equivalence with the seed's per-unit first-fit
     /// loop (kept as [`schedule_per_unit`](Self::schedule_per_unit)) is
@@ -113,36 +128,58 @@ impl GreedyPhysical {
     pub fn schedule<M: SlotFeasibility>(&self, model: &M, demands: &LinkDemands) -> Schedule {
         let mut edges: Vec<(Link, u64)> = demands.demanded_links().collect();
         self.ordering.sort(&mut edges);
+        let channel_count = model.channel_count().max(1);
+        let channels: Vec<ChannelId> = (0..channel_count)
+            .map(|c| ChannelId::new(c as u16))
+            .collect();
 
         // Open runs under construction: one accumulator per distinct
         // consecutive pattern, with the number of slots sharing it.
         struct OpenRun<'m> {
-            accumulator: Box<dyn SlotAccumulator + 'm>,
+            accumulator: Box<dyn ChannelSlotAccumulator + 'm>,
             count: u64,
         }
+        /// Rebuilds a fresh accumulator holding `run`'s assignments plus
+        /// `(channel, link)` — O(k²), but a split ends the link's scan, so it
+        /// happens at most once per link.
+        fn augment<'m, M: SlotFeasibility + ?Sized>(
+            model: &'m M,
+            run: &OpenRun<'m>,
+            channel: ChannelId,
+            link: Link,
+        ) -> Box<dyn ChannelSlotAccumulator + 'm> {
+            let mut augmented = model.open_channel_slot();
+            for c in 0..run.accumulator.channel_count() {
+                let c = ChannelId::new(c as u16);
+                for &l in run.accumulator.links(c) {
+                    augmented.assign(c, l);
+                }
+            }
+            augmented.assign(channel, link);
+            augmented
+        }
+
         let mut runs: Vec<OpenRun<'_>> = Vec::new();
         for (link, demand) in edges {
             let mut remaining = demand;
             let mut idx = 0usize;
-            while remaining > 0 && idx < runs.len() {
+            'slots: while remaining > 0 && idx < runs.len() {
                 let run = &mut runs[idx];
-                if !run.accumulator.contains(link) && run.accumulator.can_add(link) {
-                    if remaining >= run.count {
-                        // The link joins every slot of the run.
-                        run.accumulator.assign(link);
-                        remaining -= run.count;
-                    } else {
+                if !run.accumulator.contains_link(link) {
+                    for &channel in &channels {
+                        if !run.accumulator.can_add(channel, link) {
+                            continue;
+                        }
+                        if remaining >= run.count {
+                            // The link joins every slot of the run.
+                            run.accumulator.assign(channel, link);
+                            remaining -= run.count;
+                            break;
+                        }
                         // The link joins only the first `remaining` slots:
                         // split the run, keeping the augmented part first so
                         // slot order matches the per-unit first-fit exactly.
-                        // Rebuilding the augmented accumulator from its link
-                        // list is O(k²), but a split ends the link's scan, so
-                        // it happens at most once per link.
-                        let mut augmented = model.open_slot();
-                        for &l in run.accumulator.links() {
-                            augmented.assign(l);
-                        }
-                        augmented.assign(link);
+                        let augmented = augment(model, run, channel, link);
                         run.count -= remaining;
                         runs.insert(
                             idx,
@@ -152,29 +189,34 @@ impl GreedyPhysical {
                             },
                         );
                         remaining = 0;
+                        break 'slots;
                     }
                 }
                 idx += 1;
             }
             if remaining > 0 {
-                // No existing slot accepts the leftover demand: append it as
-                // one solo run. A single link alone is always feasible if the
-                // link is usable at all; if even the solo slot is infeasible
-                // (link out of range under `model`) we still allocate it so
-                // the demand accounting stays consistent — the verifier will
-                // flag the infeasibility explicitly.
-                let mut accumulator = model.open_slot();
-                accumulator.assign(link);
+                // No existing (slot, channel) pair accepts the leftover
+                // demand: append it as one solo run on the first channel. A
+                // single link alone is always feasible if the link is usable
+                // at all; if even the solo slot is infeasible (link out of
+                // range under `model`) we still allocate it so the demand
+                // accounting stays consistent — the verifier will flag the
+                // infeasibility explicitly.
+                let mut accumulator = model.open_channel_slot();
+                accumulator.assign(ChannelId::ZERO, link);
                 runs.push(OpenRun {
                     accumulator,
                     count: remaining,
                 });
             }
         }
-        Schedule::from_runs(
-            runs.into_iter()
-                .map(|run| (run.accumulator.links().to_vec(), run.count)),
-        )
+        Schedule::from_pattern_runs(runs.into_iter().map(|run| {
+            let entries: Vec<(ChannelId, Link)> = channels
+                .iter()
+                .flat_map(|&c| run.accumulator.links(c).iter().map(move |&l| (c, l)))
+                .collect();
+            (SlotPattern::from_entries(entries), run.count)
+        }))
     }
 
     /// The seed's per-unit first-fit loop: every unit of demand is placed by
@@ -396,9 +438,9 @@ mod tests {
         let schedule =
             GreedyPhysical::new(EdgeOrdering::DecreasingDemand).schedule(&EndpointOnly, &demands);
         assert_eq!(schedule.length(), 5);
-        assert_eq!(schedule.slot(0), &[link(1, 0), link(3, 2)]);
-        assert_eq!(schedule.slot(1), &[link(1, 0), link(3, 2)]);
-        assert_eq!(schedule.slot(2), &[link(1, 0)]);
+        assert_eq!(schedule.slot(0).links(), &[link(1, 0), link(3, 2)]);
+        assert_eq!(schedule.slot(1).links(), &[link(1, 0), link(3, 2)]);
+        assert_eq!(schedule.slot(2).links(), &[link(1, 0)]);
         assert_eq!(
             schedule,
             GreedyPhysical::new(EdgeOrdering::DecreasingDemand)
@@ -457,7 +499,7 @@ mod tests {
         verify_schedule(&protocol_model, &protocol, &ld).unwrap();
         let sinr_violations = protocol
             .slots()
-            .filter(|slot| slot.len() > 1 && !env.slot_feasible(slot))
+            .filter(|slot| slot.len() > 1 && !env.slot_feasible(slot.links()))
             .count();
         assert!(
             sinr_violations > 0,
@@ -489,6 +531,71 @@ mod tests {
             metrics.improvement_over_linear_pct
         );
         assert!(metrics.spatial_reuse > 1.2);
+    }
+
+    #[test]
+    fn orthogonal_channels_absorb_sinr_conflicts() {
+        // Adjacent links on a 200 m line conflict under SINR on one channel;
+        // with two channels the same two links share every slot, halving the
+        // schedule.
+        let d = GridDeployment::new(8, 1, 200.0).build();
+        let single = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let dual = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(scream_netsim::RadioConfig::mesh_default().with_channel_count(2))
+            .build(&d);
+        let demands = LinkDemands::from_links(8, &[(link(0, 1), 6), (link(2, 3), 6)]).unwrap();
+        let on_one = GreedyPhysical::paper_baseline().schedule(&single, &demands);
+        let on_two = GreedyPhysical::paper_baseline().schedule(&dual, &demands);
+        verify_schedule(&single, &on_one, &demands).unwrap();
+        verify_schedule(&dual, &on_two, &demands).unwrap();
+        assert_eq!(on_one.length(), 12, "conflicting links serialize on C = 1");
+        assert_eq!(
+            on_two.length(),
+            6,
+            "orthogonal channels run them side by side"
+        );
+        assert_eq!(on_two.channels_used(), 2);
+        assert!(on_two
+            .runs()
+            .all(|(p, _)| p.node_on_multiple_channels().is_none()));
+    }
+
+    #[test]
+    fn channel_aware_schedule_respects_half_duplex_across_channels() {
+        // Links sharing node 1 can never coexist, not even on different
+        // channels: the cross-channel half-duplex rule keeps them apart and
+        // the schedule stays fully serialized.
+        let d = GridDeployment::new(8, 1, 200.0).build();
+        let dual = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(scream_netsim::RadioConfig::mesh_default().with_channel_count(2))
+            .build(&d);
+        let demands = LinkDemands::from_links(8, &[(link(0, 1), 2), (link(1, 2), 2)]).unwrap();
+        let schedule = GreedyPhysical::paper_baseline().schedule(&dual, &demands);
+        verify_schedule(&dual, &schedule, &demands).unwrap();
+        assert_eq!(schedule.length(), 4);
+        assert!(schedule.slots().all(|slot| slot.len() == 1));
+    }
+
+    #[test]
+    fn single_channel_environment_reduces_to_the_plain_scheduler() {
+        // C = 1 through the channel-aware path must reproduce the per-unit
+        // baseline exactly — runs, length, metrics and verifier verdict.
+        for seed in [2u64, 6] {
+            let (env, ld) = grid_instance(5, 180.0, seed);
+            assert_eq!(scream_scheduling_channels(&env), 1);
+            let batched = GreedyPhysical::paper_baseline().schedule(&env, &ld);
+            let per_unit = GreedyPhysical::paper_baseline().schedule_per_unit(&env, &ld);
+            assert_eq!(batched, per_unit);
+            assert!(batched.runs().all(|(p, _)| p.is_single_channel()));
+        }
+    }
+
+    fn scream_scheduling_channels(env: &RadioEnvironment) -> usize {
+        SlotFeasibility::channel_count(env)
     }
 
     #[test]

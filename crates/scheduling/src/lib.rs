@@ -50,22 +50,24 @@ pub mod schedule;
 pub mod verify;
 
 pub use feasibility::{
-    FromScratch, LinkSinrMargin, ProtocolModel, SlotAccumulator, SlotFeasibility,
+    ChannelId, ChannelSlotAccumulator, FromScratch, LinkSinrMargin, ProtocolModel, SlotAccumulator,
+    SlotFeasibility,
 };
 pub use greedy::{EdgeOrdering, GreedyPhysical};
 pub use linear::serialized_schedule;
 pub use metrics::ScheduleMetrics;
-pub use schedule::Schedule;
+pub use schedule::{Schedule, SlotPattern};
 pub use verify::{verify_schedule, verify_slots_feasible, ScheduleViolation};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use crate::feasibility::{
-        FromScratch, LinkSinrMargin, ProtocolModel, SlotAccumulator, SlotFeasibility,
+        ChannelId, ChannelSlotAccumulator, FromScratch, LinkSinrMargin, ProtocolModel,
+        SlotAccumulator, SlotFeasibility,
     };
     pub use crate::greedy::{EdgeOrdering, GreedyPhysical};
     pub use crate::linear::serialized_schedule;
     pub use crate::metrics::ScheduleMetrics;
-    pub use crate::schedule::Schedule;
+    pub use crate::schedule::{Schedule, SlotPattern};
     pub use crate::verify::{verify_schedule, verify_slots_feasible, ScheduleViolation};
 }

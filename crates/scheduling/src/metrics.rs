@@ -26,6 +26,9 @@ pub struct ScheduleMetrics {
     /// representation — the schedule's actual memory footprint, which stays
     /// O(#links) under heavy demand while `length` grows with `TD`.
     pub pattern_count: usize,
+    /// Number of distinct orthogonal channels the schedule transmits on
+    /// (1 for every single-channel schedule, 0 for an empty one).
+    pub channels_used: usize,
 }
 
 impl ScheduleMetrics {
@@ -44,6 +47,7 @@ impl ScheduleMetrics {
             improvement_over_linear_pct: improvement,
             spatial_reuse: schedule.spatial_reuse(),
             pattern_count: schedule.pattern_count(),
+            channels_used: schedule.channels_used(),
         }
     }
 
@@ -92,6 +96,7 @@ mod tests {
         assert_eq!(m.serialized_length, 10);
         assert_eq!(m.improvement_over_linear_pct, 0.0);
         assert!((m.spatial_reuse - 1.0).abs() < 1e-12);
+        assert_eq!(m.channels_used, 1);
     }
 
     #[test]

@@ -20,31 +20,250 @@
 //! greedy scheduler) walk [`runs`](Schedule::runs) directly and pay per
 //! *distinct* pattern, not per slot.
 //!
+//! # Channel annotations
+//!
+//! Multi-channel/multi-radio scenarios are modeled as an extra *pattern
+//! dimension*, not as expanded slot lists: a [`SlotPattern`] is a set of
+//! `(channel, link)` assignments, kept sorted channel-major so each
+//! channel's link set is a contiguous sub-slice
+//! ([`channel_groups`](SlotPattern::channel_groups)). Orthogonal channels do
+//! not interfere, so per-channel SINR feasibility plus the cross-channel
+//! half-duplex rule (one radio per node — a node may not appear on two
+//! channels of the same slot, checked by the verifier) fully characterize
+//! multi-channel feasibility. Single-channel patterns store **no** channel
+//! tags at all (the tag vector stays empty), so the `C = 1` representation
+//! is byte-for-byte the plain link list the single-channel schedulers always
+//! produced.
+//!
 //! The run list is kept **canonical** — no empty runs, no two adjacent runs
-//! with the same pattern, patterns sorted and deduplicated — by every
-//! constructor and mutator, so the derived `PartialEq` compares logical slot
-//! sequences exactly as the old expanded form did.
+//! with the same pattern, pattern entries sorted and deduplicated, channel
+//! tags elided when every entry sits on channel 0 — by every constructor and
+//! mutator, so the derived `PartialEq` compares logical slot sequences
+//! exactly as the old expanded form did.
 
 use std::collections::HashMap;
 
 use serde::Serialize;
 
+use scream_netsim::ChannelId;
 use scream_topology::{Link, NodeId};
 
-/// An STDMA schedule: logically, `slots[t]` is the set of links transmitting
-/// in slot `t`; physically, maximal runs of identical consecutive slots are
-/// stored once with a multiplicity.
+/// One slot's channel-annotated link set: which links transmit concurrently,
+/// and on which orthogonal channel each of them does.
+///
+/// Canonical form: entries sorted by `(channel, link)` and deduplicated, with
+/// the channel-tag vector left **empty** whenever every entry is on channel 0
+/// — so single-channel patterns are representationally identical to the plain
+/// sorted link lists of the single-channel scheduler.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct SlotPattern {
+    /// The scheduled links, sorted channel-major then by link.
+    links: Vec<Link>,
+    /// Channel tag per link (parallel to `links`); empty when every link is
+    /// on channel 0.
+    channels: Vec<ChannelId>,
+}
+
+impl SlotPattern {
+    /// The empty pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a single-channel (channel 0) pattern, normalizing link order
+    /// and dropping duplicates.
+    pub fn from_links(mut links: Vec<Link>) -> Self {
+        links.sort_unstable();
+        links.dedup();
+        Self {
+            links,
+            channels: Vec::new(),
+        }
+    }
+
+    /// Builds a pattern from explicit `(channel, link)` entries, normalizing
+    /// to the canonical form (sorted channel-major, deduplicated, channel
+    /// tags elided when all-zero).
+    pub fn from_entries(entries: impl IntoIterator<Item = (ChannelId, Link)>) -> Self {
+        let mut entries: Vec<(ChannelId, Link)> = entries.into_iter().collect();
+        entries.sort_unstable();
+        entries.dedup();
+        if entries.iter().all(|(c, _)| *c == ChannelId::ZERO) {
+            Self {
+                links: entries.into_iter().map(|(_, l)| l).collect(),
+                channels: Vec::new(),
+            }
+        } else {
+            let links = entries.iter().map(|&(_, l)| l).collect();
+            let channels = entries.into_iter().map(|(c, _)| c).collect();
+            Self { links, channels }
+        }
+    }
+
+    /// The scheduled links, across all channels, sorted channel-major.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The channel of the `i`-th link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn channel_of(&self, i: usize) -> ChannelId {
+        assert!(i < self.links.len(), "entry {i} out of range");
+        self.channels.get(i).copied().unwrap_or(ChannelId::ZERO)
+    }
+
+    /// The `(channel, link)` entries in canonical order.
+    pub fn entries(&self) -> impl Iterator<Item = (ChannelId, Link)> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (self.channel_of(i), l))
+    }
+
+    /// Number of `(channel, link)` entries — the slot's total concurrent
+    /// transmissions across all channels.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the slot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Whether `link` is scheduled on any channel.
+    pub fn contains_link(&self, link: Link) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// Whether the exact `(channel, link)` entry is present.
+    pub fn contains(&self, channel: ChannelId, link: Link) -> bool {
+        self.entries().any(|e| e == (channel, link))
+    }
+
+    /// Whether every entry sits on channel 0 (true for the empty pattern).
+    pub fn is_single_channel(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// The links scheduled on `channel`, as a contiguous sub-slice.
+    pub fn channel_links(&self, channel: ChannelId) -> &[Link] {
+        if self.channels.is_empty() {
+            return if channel == ChannelId::ZERO {
+                &self.links
+            } else {
+                &[]
+            };
+        }
+        let start = self.channels.partition_point(|&c| c < channel);
+        let end = self.channels.partition_point(|&c| c <= channel);
+        &self.links[start..end]
+    }
+
+    /// The non-empty per-channel link groups, in increasing channel order.
+    pub fn channel_groups(&self) -> impl Iterator<Item = (ChannelId, &[Link])> + '_ {
+        ChannelGroups {
+            pattern: self,
+            start: 0,
+        }
+    }
+
+    /// Number of distinct channels used by the pattern (0 when empty).
+    pub fn channels_used(&self) -> usize {
+        self.channel_groups().count()
+    }
+
+    /// A node that appears in links of two *different* channels of this slot,
+    /// if any — the cross-channel half-duplex violation the verifier rejects
+    /// (a node has one radio, so it cannot operate on two channels in the
+    /// same slot).
+    pub fn node_on_multiple_channels(&self) -> Option<NodeId> {
+        if self.channels.is_empty() {
+            return None;
+        }
+        let mut seen: Vec<(NodeId, ChannelId)> = Vec::with_capacity(2 * self.links.len());
+        for (channel, link) in self.entries() {
+            for node in [link.head, link.tail] {
+                if seen.iter().any(|&(n, c)| n == node && c != channel) {
+                    return Some(node);
+                }
+                seen.push((node, channel));
+            }
+        }
+        None
+    }
+
+    /// This pattern with `(channel, link)` added (a no-op if the exact entry
+    /// is already present), re-canonicalized.
+    pub fn with_entry(&self, channel: ChannelId, link: Link) -> Self {
+        if self.contains(channel, link) {
+            return self.clone();
+        }
+        Self::from_entries(self.entries().chain(std::iter::once((channel, link))))
+    }
+}
+
+/// Iterator behind [`SlotPattern::channel_groups`].
+struct ChannelGroups<'a> {
+    pattern: &'a SlotPattern,
+    start: usize,
+}
+
+impl<'a> Iterator for ChannelGroups<'a> {
+    type Item = (ChannelId, &'a [Link]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let links = &self.pattern.links;
+        if self.start >= links.len() {
+            return None;
+        }
+        let channel = self.pattern.channel_of(self.start);
+        let end = if self.pattern.channels.is_empty() {
+            links.len()
+        } else {
+            self.pattern.channels.partition_point(|&c| c <= channel)
+        };
+        let group = &links[self.start..end];
+        self.start = end;
+        Some((channel, group))
+    }
+}
+
+impl std::fmt::Display for SlotPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (channel, link) in self.entries() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            if self.is_single_channel() {
+                write!(f, "{link}")?;
+            } else {
+                write!(f, "{link}@{channel}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An STDMA schedule: logically, `slots[t]` is the set of `(channel, link)`
+/// transmissions in slot `t`; physically, maximal runs of identical
+/// consecutive slots are stored once with a multiplicity.
 ///
 /// Deliberately *not* serde-deserializable (same stance as `ProtocolModel`):
 /// equality, allocation counts and the run-aware verifier all rely on the
 /// canonical-run invariant, and a derived `Deserialize` would construct
 /// values that bypass it. Serialize the runs and rebuild with
-/// [`Schedule::from_runs`], which re-establishes the invariant.
+/// [`Schedule::from_pattern_runs`], which re-establishes the invariant.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
 pub struct Schedule {
     /// Canonical maximal runs: `(pattern, multiplicity)`, multiplicity ≥ 1,
     /// no two adjacent runs share a pattern.
-    runs: Vec<(Vec<Link>, u64)>,
+    runs: Vec<(SlotPattern, u64)>,
     /// Cached total slot count (the sum of multiplicities), kept in sync by
     /// every mutator so `length` is O(1).
     total: u64,
@@ -56,19 +275,29 @@ impl Schedule {
         Self::default()
     }
 
-    /// Creates a schedule from explicit slots, normalizing the link order
-    /// inside every slot (slot contents are sets; order carries no meaning).
+    /// Creates a single-channel schedule from explicit slots, normalizing the
+    /// link order inside every slot (slot contents are sets; order carries no
+    /// meaning).
     pub fn from_slots(slots: Vec<Vec<Link>>) -> Self {
         Self::from_runs(slots.into_iter().map(|links| (links, 1)))
     }
 
-    /// Creates a schedule from `(pattern, multiplicity)` runs, normalizing
-    /// patterns, dropping zero-multiplicity runs and merging adjacent runs
-    /// with equal patterns.
+    /// Creates a single-channel schedule from `(links, multiplicity)` runs,
+    /// normalizing patterns, dropping zero-multiplicity runs and merging
+    /// adjacent runs with equal patterns.
     pub fn from_runs(runs: impl IntoIterator<Item = (Vec<Link>, u64)>) -> Self {
+        Self::from_pattern_runs(
+            runs.into_iter()
+                .map(|(links, count)| (SlotPattern::from_links(links), count)),
+        )
+    }
+
+    /// Creates a schedule from channel-annotated `(pattern, multiplicity)`
+    /// runs, re-establishing every canonical-form invariant.
+    pub fn from_pattern_runs(runs: impl IntoIterator<Item = (SlotPattern, u64)>) -> Self {
         let mut s = Self::new();
-        for (links, count) in runs {
-            s.push_slot_run(links, count);
+        for (pattern, count) in runs {
+            s.push_pattern_run(pattern, count);
         }
         s
     }
@@ -93,83 +322,93 @@ impl Schedule {
     /// The maximal runs `(pattern, multiplicity)` in slot order. Iterating
     /// runs instead of [`slots`](Self::slots) is what makes heavy-demand
     /// schedules cheap to verify and measure.
-    pub fn runs(&self) -> impl Iterator<Item = (&[Link], u64)> + '_ {
-        self.runs
-            .iter()
-            .map(|(links, count)| (links.as_slice(), *count))
+    pub fn runs(&self) -> impl Iterator<Item = (&SlotPattern, u64)> + '_ {
+        self.runs.iter().map(|(pattern, count)| (pattern, *count))
     }
 
-    /// The links scheduled in slot `t`.
+    /// The pattern of slot `t`.
     ///
     /// # Panics
     ///
     /// Panics if `t` is out of range.
-    pub fn slot(&self, t: usize) -> &[Link] {
+    pub fn slot(&self, t: usize) -> &SlotPattern {
         self.find_run(t)
-            .map(|(run, _)| self.runs[run].0.as_slice())
+            .map(|(run, _)| &self.runs[run].0)
             .unwrap_or_else(|| panic!("slot {t} out of range (length {})", self.length()))
     }
 
-    /// Iterator over the slots in order. Expands runs — prefer
+    /// Iterator over the slot patterns in order. Expands runs — prefer
     /// [`runs`](Self::runs) for heavy-demand schedules.
-    pub fn slots(&self) -> impl Iterator<Item = &[Link]> + '_ {
+    pub fn slots(&self) -> impl Iterator<Item = &SlotPattern> + '_ {
         self.runs
             .iter()
-            .flat_map(|(links, count)| std::iter::repeat_n(links.as_slice(), *count as usize))
+            .flat_map(|(pattern, count)| std::iter::repeat_n(pattern, *count as usize))
     }
 
     /// Expands the schedule into one `Vec<Link>` per slot — the seed's
-    /// representation, kept for round-trip tests and per-slot consumers.
+    /// single-channel representation, kept for round-trip tests and per-slot
+    /// consumers. Channel tags are dropped; for single-channel schedules the
+    /// round trip through [`from_slots`](Self::from_slots) is exact.
     pub fn expand(&self) -> Vec<Vec<Link>> {
-        self.slots().map(<[Link]>::to_vec).collect()
+        self.slots().map(|p| p.links().to_vec()).collect()
     }
 
-    /// Appends a new slot containing the given links and returns its index,
-    /// in O(pattern) (the cached length makes the index free).
+    /// Appends a new slot containing the given links on channel 0 and returns
+    /// its index, in O(pattern) (the cached length makes the index free).
     pub fn push_slot(&mut self, links: Vec<Link>) -> usize {
         self.push_slot_run(links, 1);
         (self.total - 1) as usize
     }
 
-    /// Appends `count` consecutive slots with the same `links` pattern in
-    /// O(pattern) — the run-length fast path the greedy scheduler and the
-    /// serialized baseline use for leftover demand. A zero `count` is a
-    /// no-op.
+    /// Appends `count` consecutive slots with the same channel-0 `links`
+    /// pattern in O(pattern) — the run-length fast path the greedy scheduler
+    /// and the serialized baseline use for leftover demand. A zero `count` is
+    /// a no-op.
     pub fn push_slot_run(&mut self, links: Vec<Link>, count: u64) {
+        self.push_pattern_run(SlotPattern::from_links(links), count);
+    }
+
+    /// Appends `count` consecutive slots with the same channel-annotated
+    /// pattern, merging into the previous run when the patterns are equal. A
+    /// zero `count` is a no-op.
+    pub fn push_pattern_run(&mut self, pattern: SlotPattern, count: u64) {
         if count == 0 {
             return;
         }
-        let mut links = links;
-        links.sort_unstable();
-        links.dedup();
         self.total += count;
         match self.runs.last_mut() {
-            Some((pattern, multiplicity)) if *pattern == links => *multiplicity += count,
-            _ => self.runs.push((links, count)),
+            Some((last, multiplicity)) if *last == pattern => *multiplicity += count,
+            _ => self.runs.push((pattern, count)),
         }
     }
 
-    /// Adds `link` to slot `t`, extending the schedule with empty slots if
-    /// `t` is beyond the current length. Adding a link twice to the same slot
-    /// has no effect.
+    /// Adds `link` to slot `t` on channel 0, extending the schedule with
+    /// empty slots if `t` is beyond the current length. Adding the same
+    /// entry twice has no effect.
     ///
     /// Costs O(#patterns): the run containing `t` is split around the
     /// modified slot and the run list re-canonicalized.
     pub fn assign(&mut self, t: usize, link: Link) {
+        self.assign_on(t, ChannelId::ZERO, link);
+    }
+
+    /// Adds `link` to slot `t` on the given channel (see
+    /// [`assign`](Self::assign)). The schedule type itself accepts any
+    /// combination — feasibility, including the cross-channel half-duplex
+    /// rule, is the verifier's job.
+    pub fn assign_on(&mut self, t: usize, channel: ChannelId, link: Link) {
         let length = self.length();
         if t >= length {
-            self.push_slot_run(Vec::new(), (t - length + 1) as u64);
+            self.push_pattern_run(SlotPattern::new(), (t - length + 1) as u64);
         }
         let (run, offset) = self
             .find_run(t)
             .expect("slot t exists after the extension above");
         let (pattern, count) = &self.runs[run];
-        if pattern.contains(&link) {
+        if pattern.contains(channel, link) {
             return;
         }
-        let mut with_link = pattern.clone();
-        with_link.push(link);
-        with_link.sort_unstable();
+        let with_link = pattern.with_entry(channel, link);
         let count = *count;
         // Split the run into (before, the modified slot, after) and replace
         // it. The pieces are pairwise distinct (old vs old+link), so the only
@@ -194,34 +433,46 @@ impl Schedule {
         self.merge_into_predecessor(run);
     }
 
-    /// Whether slot `t` already contains `link`.
+    /// Whether slot `t` contains `link` on any channel.
     pub fn contains(&self, t: usize, link: Link) -> bool {
         self.find_run(t)
-            .is_some_and(|(run, _)| self.runs[run].0.contains(&link))
+            .is_some_and(|(run, _)| self.runs[run].0.contains_link(link))
     }
 
-    /// Number of slots allocated to each link across the whole schedule.
+    /// Whether slot `t` contains the exact `(channel, link)` entry.
+    pub fn contains_on(&self, t: usize, channel: ChannelId, link: Link) -> bool {
+        self.find_run(t)
+            .is_some_and(|(run, _)| self.runs[run].0.contains(channel, link))
+    }
+
+    /// Number of slots allocated to each link (on whatever channel) across
+    /// the whole schedule.
     pub fn allocation_counts(&self) -> HashMap<Link, u64> {
         let mut counts = HashMap::new();
         for (pattern, count) in &self.runs {
-            for &link in pattern {
+            for (i, &link) in pattern.links().iter().enumerate() {
+                // A (degenerate) pattern may repeat a link on two channels;
+                // count the slot once per link, as the demand ledger does.
+                if pattern.links()[..i].contains(&link) {
+                    continue;
+                }
                 *counts.entry(link).or_insert(0) += count;
             }
         }
         counts
     }
 
-    /// Number of slots in which `link` appears.
+    /// Number of slots in which `link` appears (on any channel).
     pub fn allocated_to(&self, link: Link) -> u64 {
         self.runs
             .iter()
-            .filter(|(pattern, _)| pattern.contains(&link))
+            .filter(|(pattern, _)| pattern.contains_link(link))
             .map(|(_, count)| count)
             .sum()
     }
 
-    /// Total number of (link, slot) transmission opportunities in the
-    /// schedule.
+    /// Total number of (channel, link, slot) transmission opportunities in
+    /// the schedule.
     pub fn total_transmissions(&self) -> u64 {
         self.runs
             .iter()
@@ -229,14 +480,28 @@ impl Schedule {
             .sum()
     }
 
-    /// Average number of concurrent links per slot — the spatial-reuse factor
-    /// the physical model is supposed to unlock relative to serialized
+    /// Average number of concurrent transmissions per slot, across all
+    /// channels — the spatial-reuse factor the physical model (multiplied by
+    /// orthogonal channels) is supposed to unlock relative to serialized
     /// (one-link-per-slot) scheduling.
     pub fn spatial_reuse(&self) -> f64 {
         if self.runs.is_empty() {
             return 0.0;
         }
         self.total_transmissions() as f64 / self.length() as f64
+    }
+
+    /// Number of distinct channels used anywhere in the schedule (0 when the
+    /// schedule has no transmissions at all).
+    pub fn channels_used(&self) -> usize {
+        let mut channels: Vec<ChannelId> = self
+            .runs
+            .iter()
+            .flat_map(|(pattern, _)| pattern.channel_groups().map(|(c, _)| c))
+            .collect();
+        channels.sort_unstable();
+        channels.dedup();
+        channels.len()
     }
 
     /// Removes trailing empty slots (produced by some distributed runs when a
@@ -253,7 +518,7 @@ impl Schedule {
         let mut ids: Vec<NodeId> = self
             .runs
             .iter()
-            .flat_map(|(pattern, _)| pattern.iter())
+            .flat_map(|(pattern, _)| pattern.links().iter())
             .flat_map(|l| [l.head, l.tail])
             .collect();
         ids.sort_unstable();
@@ -291,15 +556,13 @@ impl std::fmt::Display for Schedule {
         writeln!(f, "schedule with {} slots:", self.length())?;
         let mut start = 0usize;
         for (pattern, count) in &self.runs {
-            let links: Vec<String> = pattern.iter().map(|l| l.to_string()).collect();
             if *count == 1 {
-                writeln!(f, "  slot {start:>3}: {}", links.join(", "))?;
+                writeln!(f, "  slot {start:>3}: {pattern}")?;
             } else {
                 writeln!(
                     f,
-                    "  slots {start}..={} (x{count}): {}",
+                    "  slots {start}..={} (x{count}): {pattern}",
                     start + *count as usize - 1,
-                    links.join(", ")
                 )?;
             }
             start += *count as usize;
@@ -316,6 +579,10 @@ mod tests {
         Link::new(NodeId::new(a), NodeId::new(b))
     }
 
+    fn ch(c: u16) -> ChannelId {
+        ChannelId::new(c)
+    }
+
     #[test]
     fn empty_schedule_has_zero_length() {
         let s = Schedule::new();
@@ -324,6 +591,7 @@ mod tests {
         assert_eq!(s.spatial_reuse(), 0.0);
         assert!(s.participating_nodes().is_empty());
         assert_eq!(s.pattern_count(), 0);
+        assert_eq!(s.channels_used(), 0);
     }
 
     #[test]
@@ -372,8 +640,8 @@ mod tests {
         assert_eq!(s.pattern_count(), 2);
         assert_eq!(s.allocated_to(link(3, 2)), 1_000_000);
         assert_eq!(s.total_transmissions(), 1_001_000);
-        assert_eq!(s.slot(999), &[link(1, 0)]);
-        assert_eq!(s.slot(1000), &[link(3, 2)]);
+        assert_eq!(s.slot(999).links(), &[link(1, 0)]);
+        assert_eq!(s.slot(1000).links(), &[link(3, 2)]);
     }
 
     #[test]
@@ -411,9 +679,9 @@ mod tests {
         s.assign(2, link(3, 2));
         assert_eq!(s.length(), 5);
         assert_eq!(s.pattern_count(), 3);
-        assert_eq!(s.slot(1), &[link(1, 0)]);
-        assert_eq!(s.slot(2), &[link(1, 0), link(3, 2)]);
-        assert_eq!(s.slot(3), &[link(1, 0)]);
+        assert_eq!(s.slot(1).links(), &[link(1, 0)]);
+        assert_eq!(s.slot(2).links(), &[link(1, 0), link(3, 2)]);
+        assert_eq!(s.slot(3).links(), &[link(1, 0)]);
         // Filling the rest re-merges into a single run.
         for t in [0, 1, 3, 4] {
             s.assign(t, link(3, 2));
@@ -492,5 +760,109 @@ mod tests {
         assert!(text.contains("1000000 slots"));
         assert!(text.contains("x1000000"));
         assert!(text.lines().count() < 5);
+    }
+
+    #[test]
+    fn single_channel_patterns_carry_no_channel_tags() {
+        // The C = 1 representation is the plain sorted link list: channel-0
+        // entries never materialize a tag vector, whichever constructor
+        // produced them.
+        let by_links = SlotPattern::from_links(vec![link(3, 2), link(1, 0)]);
+        let by_entries = SlotPattern::from_entries(vec![
+            (ChannelId::ZERO, link(1, 0)),
+            (ChannelId::ZERO, link(3, 2)),
+        ]);
+        assert_eq!(by_links, by_entries);
+        assert!(by_links.is_single_channel());
+        assert!(by_entries.is_single_channel());
+        assert_eq!(by_links.links(), &[link(1, 0), link(3, 2)]);
+        assert_eq!(by_links.channel_of(0), ChannelId::ZERO);
+        assert_eq!(by_links.channels_used(), 1);
+        assert_eq!(by_links.channel_links(ChannelId::ZERO), by_links.links());
+        assert!(by_links.channel_links(ch(1)).is_empty());
+        assert!(by_links.node_on_multiple_channels().is_none());
+    }
+
+    #[test]
+    fn channel_annotated_patterns_group_channel_major() {
+        let p = SlotPattern::from_entries(vec![
+            (ch(1), link(5, 4)),
+            (ch(0), link(1, 0)),
+            (ch(1), link(7, 6)),
+            (ch(0), link(3, 2)),
+            (ch(1), link(5, 4)), // duplicate entry is dropped
+        ]);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_single_channel());
+        assert_eq!(p.channels_used(), 2);
+        assert_eq!(p.channel_links(ch(0)), &[link(1, 0), link(3, 2)]);
+        assert_eq!(p.channel_links(ch(1)), &[link(5, 4), link(7, 6)]);
+        assert!(p.channel_links(ch(2)).is_empty());
+        let groups: Vec<(ChannelId, &[Link])> = p.channel_groups().collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (ch(0), &[link(1, 0), link(3, 2)][..]));
+        assert_eq!(groups[1], (ch(1), &[link(5, 4), link(7, 6)][..]));
+        assert!(p.contains(ch(1), link(7, 6)));
+        assert!(!p.contains(ch(0), link(7, 6)));
+        assert!(p.contains_link(link(7, 6)));
+        assert_eq!(
+            p.to_string(),
+            "n1->n0@ch0, n3->n2@ch0, n5->n4@ch1, n7->n6@ch1"
+        );
+    }
+
+    #[test]
+    fn node_on_multiple_channels_is_detected() {
+        let clean = SlotPattern::from_entries(vec![(ch(0), link(1, 0)), (ch(1), link(3, 2))]);
+        assert!(clean.node_on_multiple_channels().is_none());
+        let conflicted = SlotPattern::from_entries(vec![(ch(0), link(1, 0)), (ch(1), link(2, 1))]);
+        assert_eq!(conflicted.node_on_multiple_channels(), Some(NodeId::new(1)));
+        // The same node twice on the *same* channel is not a cross-channel
+        // conflict (it is an intra-channel half-duplex violation, caught by
+        // the per-channel feasibility check instead).
+        let same_channel =
+            SlotPattern::from_entries(vec![(ch(1), link(1, 0)), (ch(1), link(2, 1))]);
+        assert!(same_channel.node_on_multiple_channels().is_none());
+    }
+
+    #[test]
+    fn multi_channel_runs_roundtrip_and_compare() {
+        let p0 = SlotPattern::from_entries(vec![(ch(0), link(1, 0)), (ch(1), link(3, 2))]);
+        let mut s = Schedule::new();
+        s.push_pattern_run(p0.clone(), 1_000);
+        s.push_pattern_run(p0.clone(), 500); // merges with the previous run
+        s.push_pattern_run(SlotPattern::from_links(vec![link(1, 0)]), 2);
+        assert_eq!(s.length(), 1_502);
+        assert_eq!(s.pattern_count(), 2);
+        assert_eq!(s.channels_used(), 2);
+        assert_eq!(s.allocated_to(link(3, 2)), 1_000 + 500);
+        assert_eq!(s.total_transmissions(), 2 * 1_500 + 2);
+        assert!(s.contains_on(0, ch(1), link(3, 2)));
+        assert!(!s.contains_on(1_501, ch(1), link(3, 2)));
+        assert!(s.contains(0, link(3, 2)));
+        let rebuilt = Schedule::from_pattern_runs(s.runs().map(|(p, c)| (p.clone(), c)));
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn assign_on_splits_runs_per_channel_entry() {
+        let mut s = Schedule::from_runs(vec![(vec![link(1, 0)], 4)]);
+        s.assign_on(1, ch(1), link(3, 2));
+        assert_eq!(s.length(), 4);
+        assert_eq!(s.pattern_count(), 3);
+        assert_eq!(
+            s.slot(1),
+            &SlotPattern::from_entries(vec![(ch(0), link(1, 0)), (ch(1), link(3, 2))])
+        );
+        assert_eq!(s.slot(2).links(), &[link(1, 0)]);
+        // Re-assigning the exact entry is a no-op; assigning it on the other
+        // slots re-merges everything into one run.
+        s.assign_on(1, ch(1), link(3, 2));
+        assert_eq!(s.pattern_count(), 3);
+        for t in [0, 2, 3] {
+            s.assign_on(t, ch(1), link(3, 2));
+        }
+        assert_eq!(s.pattern_count(), 1);
+        assert_eq!(s.channels_used(), 2);
     }
 }

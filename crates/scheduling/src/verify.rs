@@ -19,26 +19,56 @@
 //! across patterns instead of being reallocated per slot — verifying a
 //! million-slot heavy-demand schedule costs O(#patterns · k²), not
 //! O(#slots · k²).
+//!
+//! Channel-annotated patterns are verified per channel: orthogonal channels
+//! do not interfere, so each channel's link group must be feasible on its
+//! own, the channel ids must be within the model's
+//! [`channel_count`](crate::feasibility::SlotFeasibility::channel_count),
+//! and — because every node has a single radio — no node may appear in links
+//! of two different channels of the same slot (the **cross-channel
+//! half-duplex rule**, [`ScheduleViolation::CrossChannelConflict`]).
 
-use scream_topology::{Link, LinkDemands};
+use scream_topology::{Link, LinkDemands, NodeId};
 
-use crate::feasibility::{LinkSinrMargin, SlotFeasibility};
+use crate::feasibility::{ChannelId, LinkSinrMargin, SlotFeasibility};
 use crate::schedule::Schedule;
 
 /// Ways a schedule can fail verification.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ScheduleViolation {
-    /// A slot's link set is not feasible under the interference model.
+    /// One channel of a slot schedules a link set that is not feasible under
+    /// the interference model.
     InfeasibleSlot {
         /// Index of the offending slot.
         slot: usize,
-        /// The links scheduled in that slot.
+        /// The channel whose link group fails (always channel 0 for
+        /// single-channel schedules).
+        channel: ChannelId,
+        /// The links scheduled on that channel in that slot.
         links: Vec<Link>,
         /// Per-link SINR margins relative to the model's threshold, when the
         /// model can report them (empty for graph-based models). Negative
         /// margins identify the failing links and directions.
         margins: Vec<LinkSinrMargin>,
+    },
+    /// A node appears in links of two different channels of the same slot —
+    /// impossible with one radio per node, however clean each channel's SINR
+    /// is.
+    CrossChannelConflict {
+        /// Index of the offending slot.
+        slot: usize,
+        /// The node scheduled on two channels at once.
+        node: NodeId,
+    },
+    /// A slot uses a channel id outside the model's channel range.
+    ChannelOutOfRange {
+        /// Index of the offending slot.
+        slot: usize,
+        /// The out-of-range channel.
+        channel: ChannelId,
+        /// The model's channel count.
+        channel_count: usize,
     },
     /// A link received a different number of slots than its demand.
     DemandMismatch {
@@ -63,11 +93,15 @@ impl std::fmt::Display for ScheduleViolation {
         match self {
             ScheduleViolation::InfeasibleSlot {
                 slot,
+                channel,
                 links,
                 margins,
             } => {
                 let links: Vec<String> = links.iter().map(|l| l.to_string()).collect();
                 write!(f, "slot {slot} is infeasible: [{}]", links.join(", "))?;
+                if *channel != ChannelId::ZERO {
+                    write!(f, " on {channel}")?;
+                }
                 let failing: Vec<String> = margins
                     .iter()
                     .filter(|m| !m.ok())
@@ -78,6 +112,18 @@ impl std::fmt::Display for ScheduleViolation {
                 }
                 Ok(())
             }
+            ScheduleViolation::CrossChannelConflict { slot, node } => write!(
+                f,
+                "slot {slot} schedules node {node} on two different channels (one radio per node)"
+            ),
+            ScheduleViolation::ChannelOutOfRange {
+                slot,
+                channel,
+                channel_count,
+            } => write!(
+                f,
+                "slot {slot} uses {channel} but the model provides only {channel_count} channel(s)"
+            ),
             ScheduleViolation::DemandMismatch {
                 link,
                 allocated,
@@ -109,6 +155,7 @@ fn check_slot<M: SlotFeasibility>(
     model: &M,
     accumulator: &mut (impl crate::feasibility::SlotAccumulator + ?Sized),
     index: usize,
+    channel: ChannelId,
     links: &[Link],
 ) -> Result<(), ScheduleViolation> {
     accumulator.clear();
@@ -116,6 +163,7 @@ fn check_slot<M: SlotFeasibility>(
         if !accumulator.can_add(link) {
             return Err(ScheduleViolation::InfeasibleSlot {
                 slot: index,
+                channel,
                 links: links.to_vec(),
                 margins: model.slot_margins(links),
             });
@@ -141,7 +189,7 @@ pub fn verify_schedule<M: SlotFeasibility>(
     // reported slot is the first one the pattern occupies).
     let mut t = 0usize;
     for (pattern, count) in schedule.runs() {
-        for &l in pattern {
+        for &l in pattern.links() {
             if demands.demand_of_link(l).is_none() {
                 return Err(ScheduleViolation::UnknownLink { link: l, slot: t });
             }
@@ -166,15 +214,36 @@ pub fn verify_schedule<M: SlotFeasibility>(
 
 /// Verifies only the feasibility of every slot, ignoring demands. Useful for
 /// partially built schedules (e.g. inspecting a distributed run mid-flight).
+///
+/// Channel-annotated slots are checked per channel (orthogonal channels do
+/// not interfere) through one reused accumulator, after validating the
+/// channel ids against the model's channel count and the cross-channel
+/// half-duplex rule: a node with its single radio may not appear in links of
+/// two different channels of the same slot.
 pub fn verify_slots_feasible<M: SlotFeasibility>(
     model: &M,
     schedule: &Schedule,
 ) -> Result<(), ScheduleViolation> {
+    let channel_count = model.channel_count().max(1);
     let mut accumulator = model.open_slot();
     let mut t = 0usize;
     for (pattern, count) in schedule.runs() {
-        if !pattern.is_empty() {
-            check_slot(model, accumulator.as_mut(), t, pattern)?;
+        if let Some(channel) = pattern
+            .channel_groups()
+            .map(|(c, _)| c)
+            .find(|c| c.index() >= channel_count)
+        {
+            return Err(ScheduleViolation::ChannelOutOfRange {
+                slot: t,
+                channel,
+                channel_count,
+            });
+        }
+        if let Some(node) = pattern.node_on_multiple_channels() {
+            return Err(ScheduleViolation::CrossChannelConflict { slot: t, node });
+        }
+        for (channel, links) in pattern.channel_groups() {
+            check_slot(model, accumulator.as_mut(), t, channel, links)?;
         }
         t += count as usize;
     }
@@ -184,11 +253,16 @@ pub fn verify_slots_feasible<M: SlotFeasibility>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scream_netsim::{PropagationModel, RadioEnvironment};
+    use crate::schedule::SlotPattern;
+    use scream_netsim::{PropagationModel, RadioConfig, RadioEnvironment};
     use scream_topology::{GridDeployment, NodeId};
 
     fn link(a: u32, b: u32) -> Link {
         Link::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    fn ch(c: u16) -> ChannelId {
+        ChannelId::new(c)
     }
 
     /// Model that only rejects shared endpoints.
@@ -256,10 +330,12 @@ mod tests {
         match err {
             ScheduleViolation::InfeasibleSlot {
                 slot,
+                channel,
                 links,
                 margins,
             } => {
                 assert_eq!(slot, 0);
+                assert_eq!(channel, ChannelId::ZERO);
                 assert_eq!(links.len(), 2);
                 // EndpointOnly has no SINR notion, so no margins.
                 assert!(margins.is_empty());
@@ -284,6 +360,7 @@ mod tests {
                 slot,
                 links,
                 margins,
+                ..
             } => {
                 assert_eq!(slot, 0);
                 assert_eq!(links.len(), 2);
@@ -361,6 +438,82 @@ mod tests {
             }
             other => panic!("unexpected violation {other:?}"),
         }
+    }
+
+    #[test]
+    fn multi_channel_slots_are_checked_per_channel() {
+        // Adjacent links on a 200 m line: SINR-infeasible on a shared channel
+        // but fine on orthogonal channels of the same slot.
+        let d = GridDeployment::new(8, 1, 200.0).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(RadioConfig::mesh_default().with_channel_count(2))
+            .build(&d);
+        let split = Schedule::from_pattern_runs(vec![(
+            SlotPattern::from_entries(vec![(ch(0), link(0, 1)), (ch(1), link(2, 3))]),
+            3,
+        )]);
+        verify_slots_feasible(&env, &split).unwrap();
+        let same_channel = Schedule::from_pattern_runs(vec![(
+            SlotPattern::from_entries(vec![(ch(1), link(0, 1)), (ch(1), link(2, 3))]),
+            1,
+        )]);
+        let err = verify_slots_feasible(&env, &same_channel).unwrap_err();
+        match err {
+            ScheduleViolation::InfeasibleSlot { channel, .. } => assert_eq!(channel, ch(1)),
+            other => panic!("unexpected violation {other:?}"),
+        }
+        let text = verify_slots_feasible(&env, &same_channel)
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("ch1"), "{text}");
+    }
+
+    #[test]
+    fn node_on_two_channels_of_one_slot_is_rejected() {
+        // The cross-channel half-duplex rule: node 1 is an endpoint on both
+        // channels, which a single radio cannot serve — even though each
+        // channel's SINR is clean on its own.
+        let d = GridDeployment::new(8, 1, 200.0).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(RadioConfig::mesh_default().with_channel_count(2))
+            .build(&d);
+        let s = Schedule::from_pattern_runs(vec![(
+            SlotPattern::from_entries(vec![(ch(0), link(0, 1)), (ch(1), link(1, 2))]),
+            1,
+        )]);
+        assert!(env.slot_feasible(&[link(0, 1)]));
+        assert!(env.slot_feasible(&[link(1, 2)]));
+        let err = verify_slots_feasible(&env, &s).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleViolation::CrossChannelConflict {
+                slot: 0,
+                node: NodeId::new(1)
+            }
+        );
+        assert!(err.to_string().contains("two different channels"));
+    }
+
+    #[test]
+    fn channels_beyond_the_model_range_are_rejected() {
+        // EndpointOnly is a single-channel model; a pattern on ch1 is out of
+        // range however feasible its links are.
+        let s = Schedule::from_pattern_runs(vec![(
+            SlotPattern::from_entries(vec![(ch(1), link(1, 0))]),
+            1,
+        )]);
+        let err = verify_slots_feasible(&EndpointOnly, &s).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleViolation::ChannelOutOfRange {
+                slot: 0,
+                channel: ch(1),
+                channel_count: 1
+            }
+        );
+        assert!(err.to_string().contains("only 1 channel"));
     }
 
     #[test]

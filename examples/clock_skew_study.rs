@@ -57,6 +57,7 @@ fn main() {
             .run(&env, &link_demands)
             .expect("FDD completes");
         let pdd = DistributedScheduler::pdd(0.2)
+            .expect("PDD activation probability is in (0, 1]")
             .with_config(config)
             .run(&env, &link_demands)
             .expect("PDD completes");

@@ -67,7 +67,7 @@ fn main() {
 
         let mut pdd_improvements = Vec::new();
         for p in [0.2, 0.6, 0.8] {
-            let run = DistributedScheduler::new(ProtocolKind::pdd(p), config)
+            let run = DistributedScheduler::new(ProtocolKind::pdd_unchecked(p), config)
                 .run(&env, &link_demands)
                 .expect("PDD completes");
             verify_schedule(&env, &run.schedule, &link_demands).expect("PDD schedule valid");

@@ -89,8 +89,8 @@ fn main() {
 
     for kind in [
         ProtocolKind::Fdd,
-        ProtocolKind::pdd(0.8),
-        ProtocolKind::pdd(0.2),
+        ProtocolKind::pdd_unchecked(0.8),
+        ProtocolKind::pdd_unchecked(0.2),
     ] {
         let run = DistributedScheduler::new(kind, config)
             .run(&env, &link_demands)

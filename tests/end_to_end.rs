@@ -44,9 +44,9 @@ fn full_pipeline_produces_valid_schedules_for_every_protocol() {
     for kind in [
         ProtocolKind::Fdd,
         ProtocolKind::Afdd,
-        ProtocolKind::pdd(0.2),
-        ProtocolKind::pdd(0.6),
-        ProtocolKind::pdd(0.8),
+        ProtocolKind::pdd_unchecked(0.2),
+        ProtocolKind::pdd_unchecked(0.6),
+        ProtocolKind::pdd_unchecked(0.8),
     ] {
         let run = DistributedScheduler::new(kind, config)
             .run(&env, &link_demands)
@@ -106,6 +106,7 @@ fn schedule_quality_ordering_matches_the_paper() {
 
     for p in [0.2, 0.8] {
         let pdd = DistributedScheduler::pdd(p)
+            .expect("PDD activation probability is in (0, 1]")
             .with_config(config)
             .run(&env, &link_demands)
             .unwrap()

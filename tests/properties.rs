@@ -16,6 +16,18 @@ fn small_instance() -> impl Strategy<Value = (usize, u64)> {
 }
 
 fn build_connected(nodes: usize, seed: u64) -> Option<(RadioEnvironment, LinkDemands)> {
+    build_connected_on_channels(nodes, seed, 1)
+}
+
+/// Like [`build_connected`], but with `channel_count` orthogonal channels in
+/// the radio configuration. The deployment draw depends only on `(nodes,
+/// seed)`, so the instances for different channel counts share the same
+/// gains and demands.
+fn build_connected_on_channels(
+    nodes: usize,
+    seed: u64,
+    channel_count: usize,
+) -> Option<(RadioEnvironment, LinkDemands)> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Area scaled so the density stays in a regime where connectivity is
     // plausible with 20 dBm radios (~215 m range).
@@ -25,6 +37,7 @@ fn build_connected(nodes: usize, seed: u64) -> Option<(RadioEnvironment, LinkDem
         .ok()?;
     let env = RadioEnvironment::builder()
         .propagation(PropagationModel::log_distance(3.0))
+        .config(scream::netsim::RadioConfig::mesh_default().with_channel_count(channel_count))
         .build(&deployment);
     let graph = env.communication_graph();
     if !graph.is_connected() {
@@ -81,6 +94,7 @@ proptest! {
                 .with_scream_slots(env.interference_diameter().max(1))
                 .with_seed(seed);
             let run = DistributedScheduler::pdd(p)
+            .expect("PDD activation probability is in (0, 1]")
                 .with_config(config)
                 .run(&env, &link_demands)
                 .expect("PDD completes on connected instances");
@@ -337,7 +351,7 @@ proptest! {
         prop_assert_eq!(&Schedule::from_slots(expanded.clone()), &schedule);
         // Per-slot accessors agree with the expansion.
         for (t, slot) in expanded.iter().enumerate().take(20) {
-            prop_assert_eq!(schedule.slot(t), slot.as_slice());
+            prop_assert_eq!(schedule.slot(t).links(), slot.as_slice());
         }
         // The run-aware verifier agrees with a naive per-slot check.
         let naive_feasible = expanded
@@ -351,6 +365,83 @@ proptest! {
         for (&link, &count) in schedule.allocation_counts().iter() {
             let expanded_count = expanded.iter().filter(|s| s.contains(&link)).count() as u64;
             prop_assert_eq!(count, expanded_count);
+        }
+    }
+
+    /// The `C = 1` reduction: the multi-channel GreedyPhysical run with one
+    /// channel (the default `RadioConfig`, stated explicitly here) produces a
+    /// schedule identical to the single-channel per-unit baseline on random
+    /// instances — same runs, same length, same metrics, same verifier
+    /// verdict — and every pattern it emits carries no channel tags at all.
+    #[test]
+    fn single_channel_reduction_matches_per_unit(
+        (nodes, seed) in (6usize..=18, 0u64..5000),
+        side_scale in 90.0f64..220.0,
+        beta_db in 4.0f64..12.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc4a1);
+        let side = side_scale * (nodes as f64).sqrt();
+        let deployment = UniformDeployment::new(nodes, side).build(&mut rng);
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(
+                scream::netsim::RadioConfig::mesh_default()
+                    .with_sinr_threshold_db(beta_db)
+                    .with_channel_count(1),
+            )
+            .build(&deployment);
+        let links: Vec<(Link, u64)> = (0..nodes as u32 / 2)
+            .map(|i| {
+                (
+                    Link::new(NodeId::new(2 * i + 1), NodeId::new(2 * i)),
+                    rng.gen_range(1u64..120),
+                )
+            })
+            .collect();
+        let demands = LinkDemands::from_links(nodes, &links).unwrap();
+        let multi_channel_at_one = GreedyPhysical::paper_baseline().schedule(&env, &demands);
+        let per_unit = GreedyPhysical::paper_baseline().schedule_per_unit(&env, &demands);
+        prop_assert_eq!(&multi_channel_at_one, &per_unit);
+        prop_assert_eq!(multi_channel_at_one.length(), per_unit.length());
+        prop_assert_eq!(
+            multi_channel_at_one.pattern_count(),
+            per_unit.pattern_count()
+        );
+        prop_assert_eq!(
+            ScheduleMetrics::compute(&multi_channel_at_one, &demands),
+            ScheduleMetrics::compute(&per_unit, &demands)
+        );
+        prop_assert_eq!(
+            verify_schedule(&env, &multi_channel_at_one, &demands).is_ok(),
+            verify_schedule(&env, &per_unit, &demands).is_ok()
+        );
+        prop_assert!(multi_channel_at_one
+            .runs()
+            .all(|(p, _)| p.is_single_channel()));
+    }
+
+    /// Multi-channel schedules on random connected instances always verify
+    /// (per-channel SINR, channel range and the cross-channel half-duplex
+    /// rule), never use more channels than configured, and are never longer
+    /// than the single-channel schedule on the same instance.
+    #[test]
+    fn multi_channel_schedules_verify_and_never_lengthen(
+        (nodes, seed) in small_instance(),
+        channels in 2usize..=4,
+    ) {
+        if let (Some((env, link_demands)), Some((multi_env, multi_demands))) = (
+            build_connected(nodes, seed),
+            build_connected_on_channels(nodes, seed, channels),
+        ) {
+            prop_assert_eq!(&link_demands, &multi_demands);
+            let single = GreedyPhysical::paper_baseline().schedule(&env, &link_demands);
+            let multi = GreedyPhysical::paper_baseline().schedule(&multi_env, &link_demands);
+            prop_assert!(verify_schedule(&multi_env, &multi, &link_demands).is_ok());
+            prop_assert!(multi.length() <= single.length());
+            prop_assert!(multi.channels_used() <= channels);
+            prop_assert!(multi
+                .runs()
+                .all(|(p, _)| p.node_on_multiple_channels().is_none()));
         }
     }
 
