@@ -26,6 +26,9 @@ use scream_topology::{
 pub struct EquivalenceOutcome {
     /// Number of nodes in the instance.
     pub node_count: usize,
+    /// Number of orthogonal channels both schedulers ran with (1 is the
+    /// paper's single shared channel).
+    pub channel_count: usize,
     /// Total traffic demand of the instance.
     pub total_demand: u64,
     /// Length of the centralized GreedyPhysical schedule.
@@ -53,25 +56,54 @@ pub struct EquivalenceReport {
 
 impl EquivalenceReport {
     /// Checks the equivalence on `instances` random grid instances of
-    /// `side × side` nodes (seeded deterministically from `base_seed`).
+    /// `side × side` nodes (seeded deterministically from `base_seed`), on
+    /// the single shared channel.
     pub fn on_grid_instances(side: usize, step_m: f64, instances: usize, base_seed: u64) -> Self {
+        Self::on_grid_instances_with_channels(side, step_m, instances, base_seed, 1)
+    }
+
+    /// The channel-aware Theorem-4 check: both FDD and GreedyPhysical run
+    /// with `channel_count` orthogonal channels on the same grid instances.
+    /// The structural argument survives the channel dimension — FDD's
+    /// channel-assignment phase first-fits exactly like the centralized
+    /// `(slot, channel)` scan — so the schedules must stay identical,
+    /// channel tags included.
+    pub fn on_grid_instances_with_channels(
+        side: usize,
+        step_m: f64,
+        instances: usize,
+        base_seed: u64,
+        channel_count: usize,
+    ) -> Self {
         let outcomes = (0..instances)
             .filter_map(|i| {
                 let seed = base_seed + i as u64;
                 let deployment = GridDeployment::new(side, side, step_m).build();
-                Self::compare(&deployment, seed)
+                Self::compare(&deployment, seed, channel_count)
             })
             .collect();
         Self { outcomes }
     }
 
     /// Checks the equivalence on `instances` random uniform (unplanned)
-    /// instances with heterogeneous transmit power.
+    /// instances with heterogeneous transmit power, on the single shared
+    /// channel.
     pub fn on_uniform_instances(
         node_count: usize,
         region_side_m: f64,
         instances: usize,
         base_seed: u64,
+    ) -> Self {
+        Self::on_uniform_instances_with_channels(node_count, region_side_m, instances, base_seed, 1)
+    }
+
+    /// The unplanned-topology variant of the channel-aware check.
+    pub fn on_uniform_instances_with_channels(
+        node_count: usize,
+        region_side_m: f64,
+        instances: usize,
+        base_seed: u64,
+        channel_count: usize,
     ) -> Self {
         let outcomes = (0..instances)
             .filter_map(|i| {
@@ -81,7 +113,7 @@ impl EquivalenceReport {
                     .heterogeneous_power(6.0)
                     .build_connected(&mut rng, region_side_m / 4.0, 100)
                     .ok()?;
-                Self::compare(&deployment, seed)
+                Self::compare(&deployment, seed, channel_count)
             })
             .collect();
         Self { outcomes }
@@ -91,9 +123,14 @@ impl EquivalenceReport {
     /// communication graph is disconnected (possible for unplanned draws with
     /// heterogeneous power, where one-way links are discarded), since no
     /// routing forest covering every node exists in that case.
-    fn compare(deployment: &Deployment, seed: u64) -> Option<EquivalenceOutcome> {
+    fn compare(
+        deployment: &Deployment,
+        seed: u64,
+        channel_count: usize,
+    ) -> Option<EquivalenceOutcome> {
         let env = RadioEnvironment::builder()
             .propagation(PropagationModel::log_distance(3.0))
+            .config(scream_netsim::RadioConfig::mesh_default().with_channel_count(channel_count))
             .build(deployment);
         let graph = env.communication_graph();
         if !graph.is_connected() {
@@ -122,6 +159,7 @@ impl EquivalenceReport {
             && verify_schedule(&env, &fdd.schedule, &link_demands).is_ok();
         Some(EquivalenceOutcome {
             node_count: deployment.len(),
+            channel_count,
             total_demand: link_demands.total_demand(),
             centralized_length: centralized.length(),
             fdd_length: fdd.schedule.length(),
@@ -206,6 +244,40 @@ mod tests {
         let report = EquivalenceReport::on_uniform_instances(16, 600.0, 3, 42);
         assert!(!report.outcomes.is_empty());
         assert!(report.all_equivalent(), "outcomes: {:?}", report.outcomes);
+        assert!(report.outcomes.iter().all(|o| o.channel_count == 1));
+    }
+
+    #[test]
+    fn channel_aware_fdd_equals_channel_aware_greedy_physical() {
+        // Theorem 4, extended by the channel dimension: the distributed
+        // channel-assignment phase makes the same (slot, channel) first-fit
+        // decisions as the centralized scan, so the equivalence survives at
+        // every channel count.
+        for channels in [2usize, 4] {
+            let report =
+                EquivalenceReport::on_grid_instances_with_channels(4, 150.0, 2, 21, channels);
+            assert_eq!(report.outcomes.len(), 2);
+            assert!(
+                report.all_equivalent(),
+                "C = {channels} outcomes: {:?}",
+                report.outcomes
+            );
+            assert!(report.outcomes.iter().all(|o| o.channel_count == channels));
+        }
+        let unplanned = EquivalenceReport::on_uniform_instances_with_channels(16, 600.0, 2, 42, 2);
+        assert!(!unplanned.outcomes.is_empty());
+        assert!(unplanned.all_equivalent(), "{:?}", unplanned.outcomes);
+    }
+
+    #[test]
+    fn multi_channel_instances_never_schedule_longer_than_single_channel() {
+        let single = EquivalenceReport::on_grid_instances_with_channels(4, 150.0, 2, 33, 1);
+        let dual = EquivalenceReport::on_grid_instances_with_channels(4, 150.0, 2, 33, 2);
+        for (s, d) in single.outcomes.iter().zip(&dual.outcomes) {
+            assert_eq!(s.total_demand, d.total_demand);
+            assert!(d.centralized_length <= s.centralized_length);
+            assert!(d.fdd_length <= s.fdd_length);
+        }
     }
 
     #[test]

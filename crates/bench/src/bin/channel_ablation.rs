@@ -1,22 +1,36 @@
 //! Channel-ablation figure: schedule length of the channel-aware centralized
 //! scheduler on the fixed 64-link heavy-demand instance, per channel count,
-//! against the ideal `ceil(L1 / C)` shrink.
+//! against the ideal `ceil(L1 / C)` shrink — optionally alongside the
+//! channel-aware distributed FDD runtime on the same cells.
 //!
-//! Usage: `cargo run --release -p scream-bench --bin channel_ablation [demand_per_link]`
+//! Usage: `cargo run --release -p scream-bench --bin channel_ablation
+//! [demand_per_link] [--fdd]`
 //!
 //! The instance's 64 links are pairwise endpoint-disjoint, so slot conflicts
 //! are purely SINR-driven — the regime where orthogonal channels multiply
 //! capacity. The acceptance bar (pinned by the
 //! `channel_ablation_shrinks_the_schedule_by_one_over_c` test) is a ratio of
-//! at most 1.1 versus the ideal for C ∈ {2, 4}.
+//! at most 1.1 versus the ideal for C ∈ {2, 4}; with `--fdd` the distributed
+//! runtime is executed and verified per cell and tracks the centralized
+//! column slot for slot (channel-aware Theorem 4, pinned by
+//! `distributed_fdd_reproduces_the_exact_one_over_c_shrink`). The FDD run
+//! costs one protocol round per slot, so pair `--fdd` with a moderate demand
+//! (e.g. 100) rather than the 10⁴ default.
 
-use scream_bench::figures::{channel_ablation, channel_ablation_table};
+use scream_bench::figures::{channel_ablation, channel_ablation_table, channel_ablation_with_fdd};
 
 fn main() {
-    let demand_per_link: u64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let with_fdd = args.iter().any(|a| a == "--fdd");
+    let demand_per_link: u64 = args
+        .iter()
+        .find(|a| *a != "--fdd")
         .and_then(|s| s.parse().ok())
         .unwrap_or(10_000);
-    let rows = channel_ablation(demand_per_link, &[1, 2, 4, 8]);
+    let rows = if with_fdd {
+        channel_ablation_with_fdd(demand_per_link, &[1, 2, 4, 8])
+    } else {
+        channel_ablation(demand_per_link, &[1, 2, 4, 8])
+    };
     println!("{}", channel_ablation_table(demand_per_link, &rows));
 }

@@ -251,7 +251,8 @@ pub fn clock_skew_table(rows: &[ClockSkewRow]) -> Table {
 
 /// One row of the channel-ablation series: the verified channel-aware
 /// centralized schedule on the fixed 64-link heavy-demand instance, per
-/// channel count.
+/// channel count, optionally alongside the distributed FDD run on the same
+/// instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChannelAblationRow {
     /// Number of orthogonal channels.
@@ -265,6 +266,13 @@ pub struct ChannelAblationRow {
     pub ratio_vs_ideal: f64,
     /// Average concurrent transmissions per slot, across all channels.
     pub spatial_reuse: f64,
+    /// Length of the verified channel-aware **distributed** FDD schedule on
+    /// the same instance, when the FDD column was requested
+    /// ([`channel_ablation_with_fdd`]). By the channel-aware Theorem 4 it
+    /// equals `slots`, so FDD reproduces the exact `1/C` shrink.
+    pub fdd_slots: Option<usize>,
+    /// `fdd_slots / ideal_slots`, when the FDD column was requested.
+    pub fdd_ratio_vs_ideal: Option<f64>,
 }
 
 /// Channel-ablation data: the centralized schedule on the fixed 64-link
@@ -275,35 +283,77 @@ pub struct ChannelAblationRow {
 /// regime where orthogonal channels multiply capacity (Halldórsson & Mitra;
 /// Zhou et al.).
 pub fn channel_ablation(demand_per_link: u64, channel_counts: &[usize]) -> Vec<ChannelAblationRow> {
+    channel_ablation_impl(demand_per_link, channel_counts, false)
+}
+
+/// [`channel_ablation`] with the **distributed** column filled in: the
+/// channel-aware FDD runtime is executed (and verified) on every cell and
+/// must reproduce the centralized `1/C` shrink slot for slot. The runtime
+/// executes one round per slot, so this variant costs O(schedule length)
+/// protocol rounds per cell — run it at moderate demand (the acceptance
+/// instance uses 100 slots/link → 1200 → 600 → 300 slots for C = 1, 2, 4),
+/// not at the million-slot demands the centralized column handles.
+pub fn channel_ablation_with_fdd(
+    demand_per_link: u64,
+    channel_counts: &[usize],
+) -> Vec<ChannelAblationRow> {
+    channel_ablation_impl(demand_per_link, channel_counts, true)
+}
+
+fn channel_ablation_impl(
+    demand_per_link: u64,
+    channel_counts: &[usize],
+    with_fdd: bool,
+) -> Vec<ChannelAblationRow> {
+    use scream_core::{DistributedScheduler, ProtocolConfig};
+
     let (env, demands) = heavy_demand_instance_on_channels(demand_per_link, 1);
     let single = GreedyPhysical::paper_baseline().schedule(&env, &demands);
     verify_schedule(&env, &single, &demands).expect("single-channel heavy schedule verifies");
     channel_counts
         .iter()
         .map(|&channels| {
-            // The C = 1 row is the already-verified baseline itself.
+            // The C = 1 cell reuses the outer instance (and its
+            // already-verified centralized baseline); other channel counts
+            // redraw the instance with their own radio configuration.
+            let cell = (channels != 1)
+                .then(|| heavy_demand_instance_on_channels(demand_per_link, channels));
+            let (cell_env, cell_demands) = cell.as_ref().map_or((&env, &demands), |(e, d)| (e, d));
             let (length, spatial_reuse) = if channels == 1 {
                 (single.length(), single.spatial_reuse())
             } else {
-                let (env, demands) = heavy_demand_instance_on_channels(demand_per_link, channels);
-                let schedule = GreedyPhysical::paper_baseline().schedule(&env, &demands);
-                verify_schedule(&env, &schedule, &demands)
+                let schedule = GreedyPhysical::paper_baseline().schedule(cell_env, cell_demands);
+                verify_schedule(cell_env, &schedule, cell_demands)
                     .expect("channel-aware heavy schedule verifies");
                 (schedule.length(), schedule.spatial_reuse())
             };
             let ideal_slots = single.length().div_ceil(channels);
+            let fdd_slots = with_fdd.then(|| {
+                let config = ProtocolConfig::paper_default()
+                    .with_scream_slots(cell_env.interference_diameter().max(5));
+                let run = DistributedScheduler::fdd()
+                    .with_config(config)
+                    .run(cell_env, cell_demands)
+                    .expect("FDD completes on the heavy-demand instance");
+                verify_schedule(cell_env, &run.schedule, cell_demands)
+                    .expect("distributed multi-channel heavy schedule verifies");
+                run.schedule.length()
+            });
             ChannelAblationRow {
                 channel_count: channels,
                 slots: length,
                 ideal_slots,
                 ratio_vs_ideal: length as f64 / ideal_slots as f64,
                 spatial_reuse,
+                fdd_slots,
+                fdd_ratio_vs_ideal: fdd_slots.map(|f| f as f64 / ideal_slots as f64),
             }
         })
         .collect()
 }
 
-/// Renders channel-ablation rows as a table.
+/// Renders channel-ablation rows as a table (the FDD columns show `-` when
+/// the distributed run was not requested).
 pub fn channel_ablation_table(demand_per_link: u64, rows: &[ChannelAblationRow]) -> Table {
     let mut table = Table::new(
         format!(
@@ -315,6 +365,8 @@ pub fn channel_ablation_table(demand_per_link: u64, rows: &[ChannelAblationRow])
             "ideal ceil(L1/C)",
             "ratio vs ideal",
             "spatial reuse",
+            "FDD slots",
+            "FDD ratio vs ideal",
         ],
     );
     for row in rows {
@@ -324,6 +376,10 @@ pub fn channel_ablation_table(demand_per_link: u64, rows: &[ChannelAblationRow])
             row.ideal_slots.to_string(),
             format!("{:.3}", row.ratio_vs_ideal),
             format!("{:.2}", row.spatial_reuse),
+            row.fdd_slots
+                .map_or_else(|| "-".to_string(), |s| s.to_string()),
+            row.fdd_ratio_vs_ideal
+                .map_or_else(|| "-".to_string(), |r| format!("{r:.3}")),
         ]);
     }
     table
@@ -463,9 +519,39 @@ mod tests {
         }
         // Spatial reuse multiplies with the channel count on this instance.
         assert!(rows[2].spatial_reuse > rows[0].spatial_reuse * 3.0);
+        // Without the distributed run the FDD columns stay empty and render
+        // as placeholders.
+        assert!(rows.iter().all(|r| r.fdd_slots.is_none()));
         let table = channel_ablation_table(100, &rows);
         assert_eq!(table.row_count(), 3);
-        assert!(table.render().contains("ideal ceil(L1/C)"));
+        let rendered = table.render();
+        assert!(rendered.contains("ideal ceil(L1/C)"));
+        assert!(rendered.contains("FDD slots"));
+    }
+
+    #[test]
+    fn distributed_fdd_reproduces_the_exact_one_over_c_shrink() {
+        // The acceptance criterion: channel-aware FDD reproduces the exact
+        // 1/C shrink of centralized GreedyPhysical on the 64-link
+        // heavy-demand instance — 1200 → 600 → 300 slots for C = 1, 2, 4 at
+        // 100 slots/link — with every distributed run verified.
+        let rows = channel_ablation_with_fdd(100, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        let lengths: Vec<usize> = rows.iter().map(|r| r.fdd_slots.unwrap()).collect();
+        assert_eq!(lengths, vec![1200, 600, 300]);
+        for row in &rows {
+            // Channel-aware Theorem 4 on the bench surface: FDD tracks the
+            // centralized column slot for slot at every channel count.
+            assert_eq!(row.fdd_slots, Some(row.slots), "C = {}", row.channel_count);
+            assert_eq!(row.fdd_ratio_vs_ideal, Some(row.ratio_vs_ideal));
+            assert!(row.fdd_ratio_vs_ideal.unwrap() <= 1.10);
+        }
+        let table = channel_ablation_table(100, &rows);
+        assert!(table.render().contains("1200"));
+        assert!(
+            !table.render().contains(" - "),
+            "no placeholder cells when the FDD column is filled"
+        );
     }
 
     #[test]

@@ -144,9 +144,36 @@ pub mod collection {
     }
 }
 
+/// Sampling strategies, mirroring `proptest::sample`.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy drawing uniformly from a fixed list of values.
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    /// Generates values drawn uniformly from `values`, mirroring
+    /// `proptest::sample::select`.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select needs at least one value");
+        Select { values }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.values[rng.gen_range(0..self.values.len())].clone()
+        }
+    }
+}
+
 /// The `prop` namespace, mirroring `proptest::prop`.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::sample;
 }
 
 /// Commonly used items, mirroring `proptest::prelude`.
@@ -279,6 +306,11 @@ mod tests {
         fn ranges_sample_in_bounds(x in 3usize..=9, y in 0u64..100) {
             prop_assert!((3..=9).contains(&x));
             prop_assert!(y < 100);
+        }
+
+        #[test]
+        fn select_draws_from_the_list(c in prop::sample::select(vec![1usize, 2, 4])) {
+            prop_assert!([1, 2, 4].contains(&c));
         }
 
         #[test]

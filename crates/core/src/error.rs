@@ -1,5 +1,7 @@
 //! Error types for the distributed protocols.
 
+use scream_topology::NodeId;
+
 /// Errors produced while configuring or running PDD/FDD.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -27,14 +29,32 @@ pub enum ProtocolError {
     },
     /// A protocol parameter is outside its valid range.
     InvalidParameter(String),
-    /// The protocol exceeded its safety bound on rounds without satisfying
-    /// all demands (this indicates an infeasible instance, e.g. a demanded
-    /// link that cannot meet the SINR threshold even alone).
+    /// Two demanded links share a head node. The paper's model gives every
+    /// node exactly one owned uplink; the runtime keys its per-node demand
+    /// state by the owning head, so a shared head would silently alias two
+    /// links' demands onto one counter and drop traffic. The run refuses the
+    /// instance instead of corrupting state.
+    ConflictingLinkOwnership {
+        /// The node that owns more than one demanded link.
+        node: NodeId,
+    },
+    /// The protocol would exceed its safety bound on rounds without having
+    /// satisfied all demands (this indicates an infeasible instance, e.g. a
+    /// demanded link that cannot meet the SINR threshold even alone). The
+    /// check fires *before* another round is constructed, so a limit of `k`
+    /// permits exactly `k` full rounds and the error reports the progress
+    /// made up to the abort.
     RoundLimitExceeded {
         /// The round bound that was hit.
         limit: u64,
+        /// Rounds fully executed before the abort (always equal to `limit`
+        /// when the error comes from a run).
+        rounds_executed: u64,
         /// Demands still unsatisfied when the limit was reached.
         unsatisfied_links: usize,
+        /// Slots of the partial schedule built before the abort (one per
+        /// executed round).
+        slots_built: usize,
     },
 }
 
@@ -60,12 +80,18 @@ impl std::fmt::Display for ProtocolError {
                 "radio environment has {environment} nodes but the demand instance covers {demands}"
             ),
             ProtocolError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ProtocolError::ConflictingLinkOwnership { node } => write!(
+                f,
+                "node {node} owns more than one demanded link; the model allows one uplink per node"
+            ),
             ProtocolError::RoundLimitExceeded {
                 limit,
+                rounds_executed,
                 unsatisfied_links,
+                slots_built,
             } => write!(
                 f,
-                "round limit {limit} exceeded with {unsatisfied_links} link(s) still unsatisfied"
+                "round limit {limit} reached after {rounds_executed} round(s) ({slots_built} slot(s) built) with {unsatisfied_links} link(s) still unsatisfied"
             ),
         }
     }
@@ -93,9 +119,17 @@ mod tests {
 
         let e = ProtocolError::RoundLimitExceeded {
             limit: 1000,
+            rounds_executed: 1000,
             unsatisfied_links: 2,
+            slots_built: 1000,
         };
         assert!(e.to_string().contains("1000") && e.to_string().contains('2'));
+
+        let e = ProtocolError::ConflictingLinkOwnership {
+            node: NodeId::new(7),
+        };
+        assert!(e.to_string().contains("n7"), "{e}");
+        assert!(e.to_string().contains("one uplink"), "{e}");
     }
 
     #[test]

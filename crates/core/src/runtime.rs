@@ -14,8 +14,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use scream_netsim::{ProtocolTiming, RadioEnvironment, SimTime, SlotTiming};
-use scream_scheduling::{Schedule, ScheduleMetrics};
+use scream_netsim::{
+    ChannelId, ChannelSlotLedger, ProtocolTiming, RadioEnvironment, SimTime, SlotTiming,
+};
+use scream_scheduling::{Schedule, ScheduleMetrics, SlotPattern};
 use scream_topology::{Link, LinkDemands};
 
 use crate::config::ProtocolConfig;
@@ -84,15 +86,43 @@ impl DistributedScheduler {
     /// instance, returning the computed schedule together with its timing and
     /// statistics.
     ///
+    /// # Channels
+    ///
+    /// The runtime is channel-aware: when the environment provides several
+    /// orthogonal channels (bounded further by
+    /// [`ProtocolConfig::max_channels`]), each round's slot is built as a set
+    /// of `(channel, link)` claims. The controller opens the slot on channel
+    /// 0 and announces a channel-assignment phase; every newly activated edge
+    /// then first-fits into the cheapest channel whose handshake it completes
+    /// ([`ChannelSlotLedger::probe_claims`] — per-channel SINR plus the
+    /// one-radio-per-node cross-channel table). Because the handshake
+    /// outcome is local physics, a successful claim must announce which
+    /// channel it took: every allocation is charged `⌈log₂ C⌉` extra SCREAM
+    /// invocations (one per channel-id bit), exactly like the per-bit
+    /// elections, and each iteration's handshake step spans one sub-slot per
+    /// channel (a one-radio node probes the channels sequentially).
+    ///
+    /// With one channel the claims degenerate to the single-channel probe,
+    /// the announcement costs zero bits and the run is byte-for-byte the
+    /// pre-channel runtime — schedule, [`ProtocolTiming`] and [`RunStats`] —
+    /// which is retained as [`run_single_channel`](Self::run_single_channel)
+    /// and pinned by the `single_channel_runtime_reduction_is_exact` property
+    /// test.
+    ///
     /// # Errors
     ///
     /// * [`ProtocolError::NodeCountMismatch`] if the demand instance does not
     ///   cover the environment's nodes;
+    /// * [`ProtocolError::ConflictingLinkOwnership`] if two demanded links
+    ///   share a head node (each node owns at most one uplink in the paper's
+    ///   model; aliasing them would silently drop demand);
     /// * [`ProtocolError::ScreamSlotsTooSmall`] /
     ///   [`ProtocolError::DisconnectedSensitivityGraph`] if the SCREAM
     ///   precondition `K ≥ ID(G_S)` cannot be met;
     /// * [`ProtocolError::RoundLimitExceeded`] if the configured round limit
-    ///   is hit before all demands are satisfied.
+    ///   is reached with demands still unsatisfied — checked *before* each
+    ///   round, so a limit of `k` permits exactly `k` full rounds and the
+    ///   error carries the progress made.
     pub fn run(
         &self,
         env: &RadioEnvironment,
@@ -116,13 +146,239 @@ impl DistributedScheduler {
         let election = LeaderElection::new();
         let id_bits = LeaderElection::id_bits(n) as u64;
 
-        // Per-node view: the link each node owns and its remaining demand.
-        let mut link_of: Vec<Option<Link>> = vec![None; n];
-        let mut remaining: Vec<u64> = vec![0; n];
-        for (link, demand) in demands.demanded_links() {
-            link_of[link.head.index()] = Some(link);
-            remaining[link.head.index()] = demand;
+        let (link_of, mut remaining) = per_node_links(demands)?;
+        let round_limit = self.config.round_limit(demands.total_demand());
+        let channel_count = self.config.effective_channels(env.channel_count());
+        let channel_bits = channel_announcement_bits(channel_count);
+
+        let mut timing = ProtocolTiming::new();
+        let mut stats = RunStats::new();
+        let mut schedule = Schedule::new();
+        let mut controller: Option<usize> = None;
+        // One multi-channel interference ledger reused (cleared, not
+        // reallocated) across every round's slot construction.
+        let mut ledger = ChannelSlotLedger::new(env, channel_count);
+
+        loop {
+            if controller.is_none() {
+                // A new controller must be elected among the nodes that still
+                // have pending demand; completed nodes participate passively.
+                timing.add_sync_step();
+                let candidates: Vec<bool> = remaining.iter().map(|&r| r > 0).collect();
+                let winner = election.elect(&channel, &candidates, &mut timing);
+                stats.elections += 1;
+                stats.scream_invocations += id_bits;
+
+                // Termination detection: the winner (if any) screams; if the
+                // OR comes back false, every node learns that no demand is
+                // left and the algorithm terminates.
+                timing.add_sync_step();
+                let mut exists = vec![false; n];
+                if let Some(w) = winner {
+                    exists[w.index()] = true;
+                }
+                let any_controller = channel.network_or(&exists, &mut timing)[0];
+                stats.scream_invocations += 1;
+                if !any_controller {
+                    break;
+                }
+                controller = winner.map(|w| w.index());
+            }
+            let ctrl = controller.expect("controller is set when the loop body runs");
+
+            // The round limit is checked before the round is constructed, so
+            // a limit of k permits exactly k full rounds and no partially
+            // applied work is ever discarded.
+            if stats.rounds >= round_limit {
+                return Err(ProtocolError::RoundLimitExceeded {
+                    limit: round_limit,
+                    rounds_executed: stats.rounds,
+                    unsatisfied_links: remaining.iter().filter(|&&r| r > 0).count(),
+                    slots_built: schedule.length(),
+                });
+            }
+
+            // ---- GreedyScheduleSlot (one round, one slot) ----
+            let mut state: Vec<NodeState> = (0..n)
+                .map(|i| {
+                    if i == ctrl {
+                        NodeState::Control
+                    } else if remaining[i] > 0 {
+                        NodeState::Dormant
+                    } else {
+                        NodeState::Complete
+                    }
+                })
+                .collect();
+
+            // Multi-channel interference ledger for the slot under
+            // construction: the controller opens the slot on channel 0 (a
+            // fresh slot's cheapest channel) and announces the claim.
+            ledger.clear();
+            ledger.assign(
+                ChannelId::ZERO,
+                link_of[ctrl].expect("the controller has pending demand"),
+            );
+            charge_channel_announcement(channel_bits, &channel, &mut timing, &mut stats);
+
+            loop {
+                stats.slot_iterations += 1;
+
+                // SelectActive: the only place the three protocol variants
+                // differ.
+                let actives = self.select_active(
+                    &state,
+                    &channel,
+                    &election,
+                    &mut rng,
+                    &mut timing,
+                    &mut stats,
+                );
+                for &a in &actives {
+                    state[a] = NodeState::Active;
+                }
+
+                // Handshake time step: every CONTROL/ALLOCATED/ACTIVE edge
+                // performs its two-way handshake concurrently. The
+                // channel-assignment phase first-fits each tentative edge
+                // into the cheapest channel whose handshake survives —
+                // per-channel SINR against the scheduled edges and the other
+                // tentatives, plus the half-duplex screen across channels
+                // (one radio per node); a channel whose scheduled edges are
+                // disturbed vetoes its sub-phase and admits no claim. The
+                // phase spans one handshake sub-slot per channel — its
+                // sub-phase structure is fixed in advance, since a one-radio
+                // node cannot probe two channels at once and nobody can know
+                // globally that claims resolved early — so the iteration is
+                // charged C handshake slots, exactly one at C = 1.
+                timing.add_sync_step();
+                for _ in 0..channel_count {
+                    timing.add_handshake_slot();
+                }
+                stats.handshake_steps += channel_count as u64;
+                let active_links: Vec<Link> = actives
+                    .iter()
+                    .map(|&i| link_of[i].expect("active nodes have pending demand"))
+                    .collect();
+                let probe = ledger.probe_claims(&active_links);
+
+                // Verification time step: previously scheduled edges hold
+                // veto power — if any of them failed its handshake on its
+                // channel, it SCREAMs; the claims of a vetoed channel have
+                // already withdrawn.
+                timing.add_sync_step();
+                let vetoed = !probe.existing_ok;
+                // The veto travels by SCREAM: one network-wide OR either way.
+                let mut veto_flags = vec![false; n];
+                veto_flags[ctrl] = vetoed;
+                let vetoed = channel.network_or(&veto_flags, &mut timing)[0];
+                stats.scream_invocations += 1;
+                if vetoed {
+                    stats.vetoes += 1;
+                }
+                for (idx, &i) in actives.iter().enumerate() {
+                    match probe.assignments[idx] {
+                        Some(claimed) => {
+                            state[i] = NodeState::Allocated;
+                            ledger.assign(claimed, active_links[idx]);
+                            charge_channel_announcement(
+                                channel_bits,
+                                &channel,
+                                &mut timing,
+                                &mut stats,
+                            );
+                        }
+                        None => {
+                            state[i] = NodeState::Tried;
+                            stats.tried_transitions += 1;
+                        }
+                    }
+                }
+
+                // stillActives check: dormant nodes scream so that everyone
+                // learns whether another iteration is needed.
+                timing.add_sync_step();
+                let dormant_flags: Vec<bool> =
+                    (0..n).map(|i| state[i] == NodeState::Dormant).collect();
+                let still_actives = channel.network_or(&dormant_flags, &mut timing)[0];
+                stats.scream_invocations += 1;
+                if !still_actives {
+                    break;
+                }
+            }
+
+            // Seal the slot: the controller's edge plus every allocated edge
+            // with its claimed channel — exactly the ledger's contents. At
+            // C = 1 every entry sits on channel 0, so the pattern stores no
+            // channel tags and the representation is the single-channel one.
+            let entries: Vec<(ChannelId, Link)> = ledger.assignments().collect();
+            for (_, link) in &entries {
+                let i = link.head.index();
+                remaining[i] = remaining[i].saturating_sub(1);
+            }
+            schedule.push_pattern_run(SlotPattern::from_entries(entries), 1);
+            stats.rounds += 1;
+
+            // Control-release check: the controller screams iff its demand is
+            // now satisfied, releasing control for the next round.
+            timing.add_sync_step();
+            let mut release = vec![false; n];
+            release[ctrl] = remaining[ctrl] == 0;
+            let released = channel.network_or(&release, &mut timing)[0];
+            stats.scream_invocations += 1;
+            if released {
+                controller = None;
+            }
         }
+
+        stats.terminated = remaining.iter().all(|&r| r == 0);
+        Ok(DistributedRun {
+            kind: self.kind,
+            schedule,
+            timing,
+            slot_timing,
+            stats,
+        })
+    }
+
+    /// The pre-channel-aware runtime: identical to [`run`](Self::run) except
+    /// that every claim goes through the single-channel
+    /// [`SlotLedger`](scream_netsim::SlotLedger) and any extra channels the
+    /// environment provides are ignored.
+    ///
+    /// Kept (like `GreedyPhysical::schedule_per_unit` and `FromScratch` for
+    /// the ledger) as the reduction baseline: the
+    /// `single_channel_runtime_reduction_is_exact` property test pins that
+    /// [`run`](Self::run) on a single-channel environment reproduces this
+    /// baseline byte for byte — schedule, timing and statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_single_channel(
+        &self,
+        env: &RadioEnvironment,
+        demands: &LinkDemands,
+    ) -> Result<DistributedRun, ProtocolError> {
+        self.config.validate()?;
+        if env.node_count() != demands.node_count() {
+            return Err(ProtocolError::NodeCountMismatch {
+                environment: env.node_count(),
+                demands: demands.node_count(),
+            });
+        }
+        let channel = ScreamChannel::new(env, &self.config)?;
+        let n = env.node_count();
+        let slot_timing = SlotTiming::derive(
+            env.config(),
+            self.config.scream_bytes,
+            self.config.clock_skew,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let election = LeaderElection::new();
+        let id_bits = LeaderElection::id_bits(n) as u64;
+
+        let (link_of, mut remaining) = per_node_links(demands)?;
         let round_limit = self.config.round_limit(demands.total_demand());
 
         let mut timing = ProtocolTiming::new();
@@ -159,6 +415,16 @@ impl DistributedScheduler {
                 controller = winner.map(|w| w.index());
             }
             let ctrl = controller.expect("controller is set when the loop body runs");
+
+            // Same round-limit boundary as `run`: checked before the round.
+            if stats.rounds >= round_limit {
+                return Err(ProtocolError::RoundLimitExceeded {
+                    limit: round_limit,
+                    rounds_executed: stats.rounds,
+                    unsatisfied_links: remaining.iter().filter(|&&r| r > 0).count(),
+                    slots_built: schedule.length(),
+                });
+            }
 
             // ---- GreedyScheduleSlot (one round, one slot) ----
             let mut state: Vec<NodeState> = (0..n)
@@ -260,12 +526,6 @@ impl DistributedScheduler {
             }
             schedule.push_slot(slot_links);
             stats.rounds += 1;
-            if stats.rounds > round_limit {
-                return Err(ProtocolError::RoundLimitExceeded {
-                    limit: round_limit,
-                    unsatisfied_links: remaining.iter().filter(|&&r| r > 0).count(),
-                });
-            }
 
             // Control-release check: the controller screams iff its demand is
             // now satisfied, releasing control for the next round.
@@ -332,6 +592,54 @@ impl DistributedScheduler {
             }
         }
     }
+}
+
+/// Builds the per-node view of the demand instance — the link each node owns
+/// and its remaining demand — rejecting instances where two demanded links
+/// share a head node: the paper's model is one owned uplink per node, and
+/// aliasing both links onto one counter would silently drop demand (while
+/// `stats.terminated` could still read true).
+fn per_node_links(demands: &LinkDemands) -> Result<(Vec<Option<Link>>, Vec<u64>), ProtocolError> {
+    let n = demands.node_count();
+    let mut link_of: Vec<Option<Link>> = vec![None; n];
+    let mut remaining: Vec<u64> = vec![0; n];
+    for (link, demand) in demands.demanded_links() {
+        let i = link.head.index();
+        if link_of[i].is_some() {
+            return Err(ProtocolError::ConflictingLinkOwnership { node: link.head });
+        }
+        link_of[i] = Some(link);
+        remaining[i] = demand;
+    }
+    Ok((link_of, remaining))
+}
+
+/// Number of SCREAM bits an allocation spends announcing which of `channels`
+/// orthogonal channels it claimed: `⌈log₂ C⌉`, i.e. zero on the single shared
+/// channel.
+fn channel_announcement_bits(channels: usize) -> u64 {
+    if channels <= 1 {
+        0
+    } else {
+        (channels - 1).ilog2() as u64 + 1
+    }
+}
+
+/// Charges one channel announcement — `bits` SCREAM invocations of `K` slots
+/// each, mirroring the per-bit cost of the elections — to the tallies. A
+/// no-op at `C = 1` (`bits == 0`), which is part of the exact single-channel
+/// reduction.
+fn charge_channel_announcement(
+    bits: u64,
+    channel: &ScreamChannel<'_>,
+    timing: &mut ProtocolTiming,
+    stats: &mut RunStats,
+) {
+    if bits == 0 {
+        return;
+    }
+    timing.add_scream_slots(bits * channel.scream_slots() as u64);
+    stats.scream_invocations += bits;
 }
 
 /// The result of one distributed scheduling run.
@@ -663,6 +971,254 @@ mod tests {
             err,
             ProtocolError::RoundLimitExceeded { limit: 1, .. }
         ));
+    }
+
+    #[test]
+    fn round_limit_boundary_is_exact_and_reports_progress() {
+        // `with_max_rounds(k)` permits exactly k full rounds: the number of
+        // rounds the unbounded run needs must succeed, one fewer must fail —
+        // before constructing the final round, with the progress attached.
+        let (_, env, ld) = grid_instance(4, 150.0, 8);
+        let unbounded = DistributedScheduler::fdd()
+            .with_config(config_for(&env))
+            .run(&env, &ld)
+            .unwrap();
+        let rounds_needed = unbounded.stats.rounds;
+        assert!(rounds_needed > 1, "the instance must need several rounds");
+
+        let exact = DistributedScheduler::fdd()
+            .with_config(config_for(&env).with_max_rounds(rounds_needed))
+            .run(&env, &ld)
+            .unwrap();
+        assert_eq!(exact.schedule, unbounded.schedule);
+        assert!(exact.stats.terminated);
+
+        let err = DistributedScheduler::fdd()
+            .with_config(config_for(&env).with_max_rounds(rounds_needed - 1))
+            .run(&env, &ld)
+            .unwrap_err();
+        match err {
+            ProtocolError::RoundLimitExceeded {
+                limit,
+                rounds_executed,
+                unsatisfied_links,
+                slots_built,
+            } => {
+                assert_eq!(limit, rounds_needed - 1);
+                assert_eq!(rounds_executed, rounds_needed - 1);
+                assert_eq!(slots_built as u64, rounds_needed - 1);
+                assert!(
+                    unsatisfied_links > 0,
+                    "aborting before the final round must leave demand unsatisfied"
+                );
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_link_ownership_is_rejected_not_aliased() {
+        // Two demanded links sharing head node 1: the guarded constructor
+        // refuses the instance, and a runtime handed one anyway (via the
+        // unchecked constructor) must reject it instead of silently aliasing
+        // both demands onto one per-node counter and dropping traffic.
+        let d = GridDeployment::new(4, 1, 150.0).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let shared_head = [
+            (Link::new(NodeId::new(1), NodeId::new(0)), 2u64),
+            (Link::new(NodeId::new(1), NodeId::new(2)), 2),
+        ];
+        assert!(LinkDemands::from_links(4, &shared_head).is_err());
+        let ld = LinkDemands::from_links_unchecked(4, &shared_head).unwrap();
+        let err = DistributedScheduler::fdd()
+            .with_config(config_for(&env))
+            .run(&env, &ld)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::ConflictingLinkOwnership {
+                node: NodeId::new(1)
+            }
+        );
+        // The retained single-channel baseline applies the same defense.
+        let err = DistributedScheduler::fdd()
+            .with_config(config_for(&env))
+            .run_single_channel(&env, &ld)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::ConflictingLinkOwnership { .. }
+        ));
+    }
+
+    /// Builds a grid instance whose radio config provides `channels`
+    /// orthogonal channels (the deployment, demands and gains are the same
+    /// for every channel count).
+    fn channel_grid_instance(
+        side: usize,
+        step: f64,
+        seed: u64,
+        channels: usize,
+    ) -> (RadioEnvironment, LinkDemands) {
+        let d = GridDeployment::new(side, side, step).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(scream_netsim::RadioConfig::mesh_default().with_channel_count(channels))
+            .build(&d);
+        let graph = env.communication_graph();
+        let gws = d.corner_nodes();
+        let forest = RoutingForest::shortest_path(&graph, &gws, seed).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let demands = DemandVector::generate(d.len(), DemandConfig::PAPER, &gws, &mut rng);
+        let ld = LinkDemands::aggregate(&forest, &demands).unwrap();
+        (env, ld)
+    }
+
+    #[test]
+    fn channel_aware_fdd_matches_channel_aware_greedy_physical() {
+        // Theorem 4, extended: on a multi-channel environment FDD recreates
+        // the channel-aware GreedyPhysical schedule exactly — channel tags
+        // included — and the run verifies under the per-channel rules.
+        for channels in [2usize, 4] {
+            for seed in [1u64, 7] {
+                let (env, ld) = channel_grid_instance(4, 160.0, seed, channels);
+                let centralized =
+                    GreedyPhysical::new(EdgeOrdering::DecreasingHeadId).schedule(&env, &ld);
+                let run = DistributedScheduler::fdd()
+                    .with_config(config_for(&env))
+                    .run(&env, &ld)
+                    .unwrap();
+                verify_schedule(&env, &run.schedule, &ld).unwrap();
+                assert_eq!(
+                    run.schedule, centralized,
+                    "channel-aware FDD diverged for seed {seed}, C = {channels}"
+                );
+                assert!(run.stats.terminated);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_channel_run_shortens_the_schedule() {
+        let (env1, ld) = channel_grid_instance(4, 150.0, 3, 1);
+        let (env2, ld2) = channel_grid_instance(4, 150.0, 3, 2);
+        assert_eq!(ld, ld2, "the instance draw is channel-independent");
+        let single = DistributedScheduler::fdd()
+            .with_config(config_for(&env1))
+            .run(&env1, &ld)
+            .unwrap();
+        let dual = DistributedScheduler::fdd()
+            .with_config(config_for(&env2))
+            .run(&env2, &ld)
+            .unwrap();
+        verify_schedule(&env2, &dual.schedule, &ld).unwrap();
+        assert!(dual.schedule.length() <= single.schedule.length());
+        assert!(dual.schedule.channels_used() >= 1);
+        assert!(dual.stats.terminated);
+    }
+
+    #[test]
+    fn channel_announcements_cost_log2_c_scream_bits_per_allocation() {
+        // Two far-apart links already share every slot on one channel, so
+        // the C = 2 run computes the *identical* schedule through identical
+        // rounds — the only timing difference is the channel-announcement
+        // cost: ⌈log₂ 2⌉ = 1 SCREAM invocation (K slots) per allocation.
+        let d = GridDeployment::new(8, 1, 200.0).build();
+        let build = |channels: usize| {
+            RadioEnvironment::builder()
+                .propagation(PropagationModel::log_distance(3.0))
+                .config(scream_netsim::RadioConfig::mesh_default().with_channel_count(channels))
+                .build(&d)
+        };
+        let env1 = build(1);
+        let env2 = build(2);
+        let ld = LinkDemands::from_links(
+            8,
+            &[
+                (Link::new(NodeId::new(1), NodeId::new(0)), 3u64),
+                (Link::new(NodeId::new(7), NodeId::new(6)), 3),
+            ],
+        )
+        .unwrap();
+        let config = config_for(&env1);
+        assert_eq!(config.scream_slots, config_for(&env2).scream_slots);
+        let single = DistributedScheduler::fdd()
+            .with_config(config)
+            .run(&env1, &ld)
+            .unwrap();
+        let dual = DistributedScheduler::fdd()
+            .with_config(config)
+            .run(&env2, &ld)
+            .unwrap();
+        assert_eq!(dual.schedule, single.schedule, "no channel benefit here");
+        let allocations = single.schedule.total_transmissions();
+        assert_eq!(allocations, 6);
+        assert_eq!(
+            dual.timing.scream_slots - single.timing.scream_slots,
+            allocations * config.scream_slots as u64,
+            "one announcement bit (K scream slots) per allocation"
+        );
+        assert_eq!(
+            dual.stats.scream_invocations - single.stats.scream_invocations,
+            allocations
+        );
+        // The channel-assignment phase spans one handshake sub-slot per
+        // channel, so the C = 2 run charges exactly twice the handshake
+        // time over the same iterations.
+        assert_eq!(
+            dual.timing.handshake_slots,
+            2 * single.timing.handshake_slots
+        );
+        assert_eq!(dual.stats.slot_iterations, single.stats.slot_iterations);
+        assert_eq!(dual.timing.sync_steps, single.timing.sync_steps);
+        assert!(dual.execution_time() > single.execution_time());
+    }
+
+    #[test]
+    fn max_channels_caps_the_runtime_below_the_environment() {
+        // A 2-channel environment run with max_channels = 1 must reproduce
+        // the single-channel schedule exactly (the cap is how sweeps compare
+        // the runtime against its single-channel self on one instance).
+        let (env2, ld) = channel_grid_instance(4, 150.0, 5, 2);
+        let capped = DistributedScheduler::fdd()
+            .with_config(config_for(&env2).with_max_channels(1))
+            .run(&env2, &ld)
+            .unwrap();
+        let baseline = DistributedScheduler::fdd()
+            .with_config(config_for(&env2))
+            .run_single_channel(&env2, &ld)
+            .unwrap();
+        assert_eq!(capped.schedule, baseline.schedule);
+        assert_eq!(capped.timing, baseline.timing);
+        assert_eq!(capped.stats, baseline.stats);
+        assert!(capped.schedule.runs().all(|(p, _)| p.is_single_channel()));
+    }
+
+    #[test]
+    fn single_channel_run_reduces_exactly_to_the_baseline_runtime() {
+        // The C = 1 reduction, the unit-test twin of the
+        // `single_channel_runtime_reduction_is_exact` property test: on a
+        // single-channel environment the channel-aware path must reproduce
+        // the retained baseline byte for byte — schedule, timing, stats —
+        // for every protocol variant.
+        let (_, env, ld) = grid_instance(4, 150.0, 17);
+        for scheduler in [
+            DistributedScheduler::fdd(),
+            DistributedScheduler::afdd(),
+            DistributedScheduler::pdd(0.6).unwrap(),
+        ] {
+            let generic = scheduler
+                .with_config(config_for(&env))
+                .run(&env, &ld)
+                .unwrap();
+            let baseline = scheduler
+                .with_config(config_for(&env))
+                .run_single_channel(&env, &ld)
+                .unwrap();
+            assert_eq!(generic, baseline, "{:?} diverged at C = 1", scheduler.kind);
+        }
     }
 
     #[test]

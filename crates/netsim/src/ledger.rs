@@ -455,6 +455,23 @@ impl<'a> SlotLedger<'a> {
     }
 }
 
+/// Result of pricing a tentative active set against a multi-channel ledger
+/// slot (see [`ChannelSlotLedger::probe_claims`]): a first-fit channel claim
+/// per tentative link plus the aggregate health of the already-assigned
+/// links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelLedgerProbe {
+    /// Whether every already-assigned link, on every channel, still completed
+    /// its handshake while the tentative set transmitted during the
+    /// channel-assignment phase. `false` corresponds to the SCREAM veto of
+    /// the distributed protocols; with one channel this is exactly
+    /// [`LedgerProbe::existing_ok`] on the full tentative set.
+    pub existing_ok: bool,
+    /// The channel each tentative link claimed, in input order; `None` means
+    /// no channel accepted the claim (the link withdraws as TRIED).
+    pub assignments: Vec<Option<ChannelId>>,
+}
+
 /// Incremental interference state of one **multi-channel** STDMA slot under
 /// construction: one [`SlotLedger`] per orthogonal channel plus a
 /// cross-channel node-occupancy table.
@@ -599,6 +616,93 @@ impl<'a> ChannelSlotLedger<'a> {
     /// Per-link SINR margins of `channel`'s slot, in dB relative to β.
     pub fn margins(&self, channel: ChannelId) -> Vec<LinkSinrMargin> {
         self.channels[channel.index()].margins()
+    }
+
+    /// The multi-channel slot-claim check: each tentative link first-fits
+    /// into the cheapest channel whose handshake it completes, mirroring
+    /// [`SlotLedger::probe_claims`] channel by channel.
+    ///
+    /// The phase runs one sub-phase per channel, in increasing channel order.
+    /// In sub-phase `c` every still-unassigned tentative link transmits on
+    /// channel `c` concurrently, so its handshake is priced against channel
+    /// `c`'s assigned links *and* every other unassigned tentative link
+    /// (links that claimed an earlier channel are orthogonal and do not
+    /// interfere). A link claims channel `c` when
+    ///
+    /// * its two-way handshake passes on `c` under that interference,
+    /// * the half-duplex screen admits it: not a self-link, both endpoints
+    ///   idle on **every** channel (one radio per node), and no endpoint
+    ///   shared with another tentative link (two claims cannot both complete
+    ///   through one radio, whatever their channels), and
+    /// * channel `c`'s already-assigned links all survive the sub-phase —
+    ///   otherwise the sub-phase is vetoed and **no** link claims `c`,
+    ///   exactly like the single-channel SCREAM veto.
+    ///
+    /// Links left unassigned after the last channel withdraw (`None`).
+    /// With one channel the result degenerates exactly to
+    /// [`SlotLedger::probe_claims`]: `existing_ok` is the same aggregate
+    /// check and `assignments[i]` is `Some(ch0)` iff that probe admitted
+    /// claim `i` and no veto fired.
+    pub fn probe_claims(&self, tentative: &[Link]) -> ChannelLedgerProbe {
+        // The half-duplex screen is channel-independent: a link failing it
+        // can claim no channel at all, but it keeps transmitting (and hence
+        // interfering) in every sub-phase, like any other failed handshake.
+        let claimable: Vec<bool> = tentative
+            .iter()
+            .enumerate()
+            .map(|(idx, link)| {
+                link.head != link.tail
+                    && self.endpoints_free(*link)
+                    && tentative
+                        .iter()
+                        .enumerate()
+                        .all(|(other, l)| other == idx || !l.shares_endpoint(link))
+            })
+            .collect();
+
+        let mut assignments: Vec<Option<ChannelId>> = vec![None; tentative.len()];
+        let mut unassigned: Vec<usize> = (0..tentative.len()).collect();
+        let mut existing_ok = true;
+        let mut links: Vec<Link> = Vec::with_capacity(tentative.len());
+        for (c, ledger) in self.channels.iter().enumerate() {
+            if unassigned.is_empty() {
+                // Every claim is resolved, but the sub-phase still happens:
+                // a channel whose force-assigned links cannot complete their
+                // handshakes even undisturbed must raise its veto exactly as
+                // the single-channel probe does on an empty tentative set.
+                if !ledger.all_links_ok() {
+                    existing_ok = false;
+                }
+                continue;
+            }
+            links.clear();
+            links.extend(unassigned.iter().map(|&i| tentative[i]));
+            let probe = ledger.probe(&links);
+            if !probe.existing_ok {
+                // Veto on this channel: its scheduled links were disturbed,
+                // so nobody claims it; the whole set carries to the next
+                // channel.
+                existing_ok = false;
+                continue;
+            }
+            let channel = ChannelId::new(c as u16);
+            unassigned = unassigned
+                .iter()
+                .zip(&probe.tentative_ok)
+                .filter_map(|(&idx, &ok)| {
+                    if ok && claimable[idx] {
+                        assignments[idx] = Some(channel);
+                        None
+                    } else {
+                        Some(idx)
+                    }
+                })
+                .collect();
+        }
+        ChannelLedgerProbe {
+            existing_ok,
+            assignments,
+        }
     }
 }
 
@@ -895,6 +999,131 @@ mod tests {
         assert_eq!(
             set.assignments().collect::<Vec<_>>(),
             fresh.assignments().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_channel_probe_claims_degenerates_to_the_plain_probe() {
+        // On one channel the multi-channel claim check must agree claim-for-
+        // claim (and on existing_ok) with SlotLedger::probe_claims, for
+        // passing, SINR-failing, half-duplex-failing and self-link claims.
+        let positions: Vec<Point2> = (0..8).map(|i| Point2::new(i as f64 * 150.0, 0.0)).collect();
+        let d = Deployment::from_positions(&positions, 20.0, Rect::square(1200.0)).unwrap();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(crate::radio::RadioConfig::mesh_default().with_sinr_threshold_db(6.0))
+            .build(&d);
+        let mut set = ChannelSlotLedger::new(&env, 1);
+        set.assign(ChannelId::ZERO, link(2, 1));
+        let plain = SlotLedger::with_links(&env, &[link(2, 1)]);
+        for tentative in [
+            vec![link(1, 0)],                         // endpoint-sharing chain
+            vec![link(4, 5)],                         // clean claim
+            vec![link(4, 5), link(5, 6)],             // mutual endpoint sharing
+            vec![link(4, 5), link(7, 6), link(3, 3)], // mixed with a self-link
+        ] {
+            let multi = set.probe_claims(&tentative);
+            let single = plain.probe_claims(&tentative);
+            assert_eq!(multi.existing_ok, single.existing_ok, "{tentative:?}");
+            for (i, ok) in single.tentative_ok.iter().enumerate() {
+                // The single-channel runtime applies the veto globally after
+                // the probe; the channel-aware probe folds it into the claim.
+                let expected = if *ok && single.existing_ok {
+                    Some(ChannelId::ZERO)
+                } else {
+                    None
+                };
+                assert_eq!(
+                    multi.assignments[i], expected,
+                    "claim {i} diverged for {tentative:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_claims_first_fits_across_channels() {
+        // (0,1) is on channel 0; (2,3) conflicts with it under SINR, so its
+        // claim carries to channel 1; (1,4) touches busy node 1 and claims
+        // nothing on any channel.
+        let env = line_env(8, 200.0);
+        assert!(!env.slot_feasible(&[link(0, 1), link(2, 3)]));
+        let mut set = ChannelSlotLedger::new(&env, 2);
+        set.assign(ChannelId::ZERO, link(0, 1));
+        let probe = set.probe_claims(&[link(2, 3)]);
+        assert_eq!(probe.assignments, vec![Some(ChannelId::new(1))]);
+        // A claim touching a busy node gets no channel at all.
+        assert_eq!(set.probe_claims(&[link(1, 4)]).assignments, vec![None]);
+        // Claiming the assignment keeps the multi-channel slot feasible.
+        set.assign(ChannelId::new(1), link(2, 3));
+        assert!(set.slot_feasible());
+        // A claim that fits channel 0 takes it even when later channels are
+        // also free (first-fit order), and two endpoint-sharing claims both
+        // fail on every channel (one radio per node).
+        let probe = set.probe_claims(&[link(6, 7), link(5, 6)]);
+        assert_eq!(probe.assignments, vec![None, None]);
+        let probe = set.probe_claims(&[link(6, 7)]);
+        assert_eq!(probe.assignments, vec![Some(ChannelId::ZERO)]);
+        assert!(probe.existing_ok);
+    }
+
+    #[test]
+    fn probe_claims_reports_unhealthy_channels_even_with_no_open_claims() {
+        // A force-assigned link that cannot complete its handshake even
+        // undisturbed (100 km apart) must surface through existing_ok — on
+        // an empty tentative set (mirroring SlotLedger::probe_claims) and
+        // when every claim resolves on an earlier channel.
+        let env = line_env(4, 100_000.0);
+        let mut set = ChannelSlotLedger::new(&env, 1);
+        set.assign(ChannelId::ZERO, link(0, 1));
+        let plain = SlotLedger::with_links(&env, &[link(0, 1)]);
+        assert!(!plain.probe_claims(&[]).existing_ok);
+        assert!(
+            !set.probe_claims(&[]).existing_ok,
+            "the empty-claim probe must still check the assigned links"
+        );
+
+        // Claims resolving on an early channel must not mask a later
+        // channel's unhealthy force-assigned links: (0,1) and (2,3) disturb
+        // each other on channel 1, the clean claim (6,7) takes channel 0,
+        // and channel 1's sub-phase still raises its veto.
+        let env = line_env(8, 200.0);
+        let mut set2 = ChannelSlotLedger::new(&env, 2);
+        set2.assign(ChannelId::new(1), link(0, 1));
+        set2.assign(ChannelId::new(1), link(2, 3));
+        assert!(!set2.channel(ChannelId::new(1)).all_links_ok());
+        let probe = set2.probe_claims(&[link(6, 7)]);
+        assert_eq!(probe.assignments, vec![Some(ChannelId::ZERO)]);
+        assert!(
+            !probe.existing_ok,
+            "channel 1's broken links must veto even after all claims resolved"
+        );
+    }
+
+    #[test]
+    fn probe_claims_vetoes_a_disturbed_channel_but_not_the_others() {
+        // Put (2,1) on channel 0 of a low-β environment; the tentative (4,3)
+        // disturbs it there (veto on channel 0) yet claims channel 1, where
+        // nothing is scheduled.
+        let positions: Vec<Point2> = (0..6).map(|i| Point2::new(i as f64 * 150.0, 0.0)).collect();
+        let d = Deployment::from_positions(&positions, 20.0, Rect::square(900.0)).unwrap();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .config(crate::radio::RadioConfig::mesh_default().with_sinr_threshold_db(6.0))
+            .build(&d);
+        let mut set = ChannelSlotLedger::new(&env, 2);
+        set.assign(ChannelId::ZERO, link(2, 1));
+        let solo = set.channel(ChannelId::ZERO).probe(&[link(4, 3)]);
+        assert!(
+            !solo.existing_ok,
+            "the scenario needs (4,3) to disturb channel 0"
+        );
+        let probe = set.probe_claims(&[link(4, 3)]);
+        assert!(!probe.existing_ok, "the channel-0 veto must be reported");
+        assert_eq!(
+            probe.assignments,
+            vec![Some(ChannelId::new(1))],
+            "the claim carries past the vetoed channel"
         );
     }
 

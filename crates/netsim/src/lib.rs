@@ -53,7 +53,7 @@ pub use clock::{ClockModel, ClockSkewConfig};
 pub use des::{EventQueue, ScheduledEvent};
 pub use environment::{RadioEnvironment, RadioEnvironmentBuilder};
 pub use error::NetsimError;
-pub use ledger::{ChannelSlotLedger, LedgerProbe, LinkSinrMargin, SlotLedger};
+pub use ledger::{ChannelLedgerProbe, ChannelSlotLedger, LedgerProbe, LinkSinrMargin, SlotLedger};
 pub use propagation::{PropagationModel, ShadowingField};
 pub use radio::{ChannelId, RadioConfig};
 pub use timing::{ProtocolTiming, SlotTiming};
@@ -65,7 +65,9 @@ pub mod prelude {
     pub use crate::des::{EventQueue, ScheduledEvent};
     pub use crate::environment::{RadioEnvironment, RadioEnvironmentBuilder};
     pub use crate::error::NetsimError;
-    pub use crate::ledger::{ChannelSlotLedger, LedgerProbe, LinkSinrMargin, SlotLedger};
+    pub use crate::ledger::{
+        ChannelLedgerProbe, ChannelSlotLedger, LedgerProbe, LinkSinrMargin, SlotLedger,
+    };
     pub use crate::propagation::{PropagationModel, ShadowingField};
     pub use crate::radio::{ChannelId, RadioConfig};
     pub use crate::timing::{ProtocolTiming, SlotTiming};

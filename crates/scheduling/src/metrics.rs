@@ -53,9 +53,18 @@ impl ScheduleMetrics {
 
     /// Ratio of this schedule's length to another's (e.g. distributed vs
     /// centralized), as a percentage. Values above 100 mean `self` is longer.
+    ///
+    /// A non-empty schedule compared against an empty one is infinitely
+    /// longer, not "equal": the ratio is [`f64::INFINITY`] (rendered `inf` by
+    /// the standard formatter, which is what sweep CSVs emit). Only
+    /// empty-vs-empty reports 100 — two empty schedules are the same length.
     pub fn length_ratio_pct(&self, other: &ScheduleMetrics) -> f64 {
         if other.length == 0 {
-            return 100.0;
+            return if self.length == 0 {
+                100.0
+            } else {
+                f64::INFINITY
+            };
         }
         100.0 * self.length as f64 / other.length as f64
     }
@@ -65,11 +74,13 @@ impl std::fmt::Display for ScheduleMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} slots (TD={}, {:.1}% better than serialized, reuse {:.2})",
+            "{} slots (TD={}, {:.1}% better than serialized, reuse {:.2}, {} pattern(s), {} channel(s))",
             self.length,
             self.serialized_length,
             self.improvement_over_linear_pct,
-            self.spatial_reuse
+            self.spatial_reuse,
+            self.pattern_count,
+            self.channels_used
         )
     }
 }
@@ -143,5 +154,25 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("10 slots"));
         assert!(text.contains("0.0%"));
+        assert!(text.contains("pattern(s)"), "{text}");
+        assert!(text.contains("1 channel(s)"), "{text}");
+    }
+
+    #[test]
+    fn degenerate_length_ratios_are_infinite_not_equal() {
+        let d = demands();
+        let empty = ScheduleMetrics::compute(&Schedule::new(), &d);
+        let mut s = Schedule::new();
+        s.push_slot(vec![link(1, 0)]);
+        let nonempty = ScheduleMetrics::compute(&s, &d);
+        // Non-empty vs empty is infinitely longer, never "equal length".
+        assert_eq!(nonempty.length_ratio_pct(&empty), f64::INFINITY);
+        // Empty vs empty really is equal length.
+        assert_eq!(empty.length_ratio_pct(&empty), 100.0);
+        // Empty vs non-empty is 0%, the finite branch.
+        assert_eq!(empty.length_ratio_pct(&nonempty), 0.0);
+        // The standard formatter renders the degenerate value as `inf`,
+        // which is what the sweep CSV relies on.
+        assert_eq!(format!("{:.2}", nonempty.length_ratio_pct(&empty)), "inf");
     }
 }

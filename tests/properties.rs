@@ -445,6 +445,73 @@ proptest! {
         }
     }
 
+    /// The channel-aware Theorem 4: on random connected instances with
+    /// C ∈ {1, 2, 4} orthogonal channels, the channel-aware FDD runtime
+    /// recreates the channel-aware GreedyPhysical schedule exactly (channel
+    /// tags included) — same schedule, same metrics, same verifier verdict.
+    #[test]
+    fn channel_aware_fdd_matches_channel_aware_greedy(
+        (nodes, seed) in small_instance(),
+        channels in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        if let Some((env, link_demands)) = build_connected_on_channels(nodes, seed, channels) {
+            let centralized = GreedyPhysical::new(EdgeOrdering::DecreasingHeadId)
+                .schedule(&env, &link_demands);
+            let config = ProtocolConfig::paper_default()
+                .with_scream_slots(env.interference_diameter().max(1))
+                .with_seed(seed);
+            let run = DistributedScheduler::fdd()
+                .with_config(config)
+                .run(&env, &link_demands)
+                .expect("channel-aware FDD completes on connected instances");
+            prop_assert_eq!(&run.schedule, &centralized);
+            prop_assert_eq!(
+                ScheduleMetrics::compute(&run.schedule, &link_demands),
+                ScheduleMetrics::compute(&centralized, &link_demands)
+            );
+            prop_assert_eq!(
+                verify_schedule(&env, &run.schedule, &link_demands).is_ok(),
+                verify_schedule(&env, &centralized, &link_demands).is_ok()
+            );
+            prop_assert!(verify_schedule(&env, &run.schedule, &link_demands).is_ok());
+            prop_assert!(run.schedule.channels_used() <= channels);
+        }
+    }
+
+    /// The C = 1 runtime reduction is exact: on single-channel environments
+    /// the channel-aware runtime reproduces the retained pre-channel baseline
+    /// byte for byte — schedule, `ProtocolTiming` and `RunStats` — for the
+    /// deterministic protocols and for randomized PDD under a shared seed.
+    #[test]
+    fn single_channel_runtime_reduction_is_exact(
+        (nodes, seed) in small_instance(),
+        p in 0.2f64..=1.0,
+    ) {
+        if let Some((env, link_demands)) = build_connected(nodes, seed) {
+            let config = ProtocolConfig::paper_default()
+                .with_scream_slots(env.interference_diameter().max(1))
+                .with_seed(seed);
+            for scheduler in [
+                DistributedScheduler::fdd(),
+                DistributedScheduler::afdd(),
+                DistributedScheduler::pdd(p).expect("p is in (0, 1]"),
+            ] {
+                let generic = scheduler
+                    .with_config(config)
+                    .run(&env, &link_demands)
+                    .expect("the channel-aware runtime completes");
+                let baseline = scheduler
+                    .with_config(config)
+                    .run_single_channel(&env, &link_demands)
+                    .expect("the baseline runtime completes");
+                prop_assert_eq!(&generic.schedule, &baseline.schedule);
+                prop_assert_eq!(generic.timing, baseline.timing);
+                prop_assert_eq!(generic.stats, baseline.stats);
+                prop_assert_eq!(generic, baseline);
+            }
+        }
+    }
+
     /// The ledger's batched runtime probe agrees with per-participant
     /// `handshake_ok` even when links share endpoints (where the SINR
     /// interferer-exclusion rules apply), and force-assigned sets report the
