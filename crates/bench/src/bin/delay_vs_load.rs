@@ -1,0 +1,25 @@
+//! The delay-vs-load figure: end-to-end packet delay and sustained
+//! throughput of the Centralized, FDD and PDD (p = 0.8) frames on the paper
+//! grid scenario, across offered-load factors — the stability knee made
+//! visible. `load = 1` is the centralized frame's exact capacity; FDD's
+//! knee coincides (Theorem 4), PDD's arrives earlier because its frame is
+//! longer.
+//!
+//! Usage: `cargo run --release -p scream-bench --bin delay_vs_load
+//!         [node_count] [horizon_frames] [seed]`
+
+use scream_bench::figures::{delay_vs_load, delay_vs_load_table};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let node_count: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let horizon_frames: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(150);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2024);
+    let loads = [0.5, 0.7, 0.85, 0.95, 1.0, 1.05, 1.2, 1.5];
+    eprintln!(
+        "# delay_vs_load: {node_count}-node paper grid, demand U[1,10], \
+         {horizon_frames} frame repetitions per cell, seed {seed}"
+    );
+    let rows = delay_vs_load(&loads, node_count, seed, horizon_frames);
+    println!("{}", delay_vs_load_table(&rows).render());
+}

@@ -50,7 +50,7 @@ fn main() {
         .channel_counts(&channels)
         .seeds(&seeds);
     eprintln!(
-        "# sweep_grid: {} cells (density x channel x seed), 64-node planned grid, all cores",
+        "# sweep_grid: {} cells (density x channel x load x seed), 64-node planned grid, all cores",
         sweep.len()
     );
     let start = Instant::now();

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use scream_core::ProtocolKind;
 use scream_mote::{DetectionErrorPoint, MoteExperiment, MoteExperimentConfig, RssiTrace};
 use scream_netsim::{ClockSkewConfig, SimTime};
-use scream_scheduling::{verify_schedule, GreedyPhysical};
+use scream_scheduling::{verify_schedule, GreedyPhysical, Schedule};
 
 use crate::report::Table;
 use crate::scenario::{heavy_demand_instance_on_channels, PaperScenario};
@@ -385,6 +385,123 @@ pub fn channel_ablation_table(demand_per_link: u64, rows: &[ChannelAblationRow])
     table
 }
 
+/// One schedule's packet-level outcome at one offered-load factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Mean end-to-end delay over delivered packets, in slots.
+    pub mean_delay_slots: f64,
+    /// 95th-percentile end-to-end delay, in slots.
+    pub delay_p95_slots: f64,
+    /// Percentage of injected packets delivered within the horizon.
+    pub throughput_pct: f64,
+    /// Analytic stability verdict at this load.
+    pub stable: bool,
+}
+
+/// One row of the delay-vs-load series: the traffic engine's outcome on the
+/// Centralized, FDD and PDD (p = 0.8) frames at one offered-load factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayVsLoadRow {
+    /// Offered-load factor relative to the **centralized** frame's capacity
+    /// (1.0 saturates every link of the centralized/FDD frame).
+    pub offered_load: f64,
+    /// Outcome on the centralized GreedyPhysical frame.
+    pub centralized: LoadPoint,
+    /// Outcome on the distributed FDD frame (equal to the centralized frame
+    /// by Theorem 4, so its knee coincides).
+    pub fdd: LoadPoint,
+    /// Outcome on the distributed PDD (p = 0.8) frame. PDD frames are
+    /// longer, so their per-link shares are smaller and the knee arrives at
+    /// a lower absolute load — the measurable cost of randomization.
+    pub pdd_08: LoadPoint,
+}
+
+/// Delay-vs-load data on the paper grid scenario: the same absolute packet
+/// streams (per-node rates scaled by `load / centralized_frame_slots`, so
+/// `load = 1` is the centralized frame's exact capacity) are driven over the
+/// Centralized, FDD and PDD (p = 0.8) frames. Every column simulates the
+/// same **absolute** slot budget — `horizon_frames` repetitions of the
+/// centralized frame, converted to each schedule's own frame count — so the
+/// per-row comparison is horizon-fair even though the frames differ in
+/// length. The stability knee is where delay turns vertical and throughput
+/// leaves 100%: at `load ≈ 1` for Centralized/FDD, and at
+/// `load ≈ L_centralized / L_pdd` for PDD.
+pub fn delay_vs_load(
+    loads: &[f64],
+    node_count: usize,
+    seed: u64,
+    horizon_frames: u64,
+) -> Vec<DelayVsLoadRow> {
+    let instance = PaperScenario::grid(2_000.0)
+        .with_node_count(node_count)
+        .instantiate(seed);
+    let centralized = instance.run_centralized();
+    let fdd = instance.run_protocol(ProtocolKind::Fdd).schedule;
+    let pdd = instance
+        .run_protocol(ProtocolKind::pdd_unchecked(0.8))
+        .schedule;
+    let reference = centralized.length() as u64;
+    loads
+        .iter()
+        .map(|&load| {
+            let point = |schedule: &Schedule| {
+                // Same absolute horizon for every schedule: the shared slot
+                // budget in units of this schedule's own frame.
+                let slot_budget = reference * horizon_frames;
+                let frames = slot_budget.div_ceil(schedule.length() as u64).max(1);
+                let report = instance.run_traffic_against(schedule, load, reference, frames);
+                LoadPoint {
+                    mean_delay_slots: report.delay.mean_slots,
+                    delay_p95_slots: report.delay.p95_slots,
+                    throughput_pct: report.sustained_throughput_pct,
+                    stable: report.verdict.is_stable(),
+                }
+            };
+            DelayVsLoadRow {
+                offered_load: load,
+                centralized: point(&centralized),
+                fdd: point(&fdd),
+                pdd_08: point(&pdd),
+            }
+        })
+        .collect()
+}
+
+/// Renders delay-vs-load rows as a table ("+"/"sat" marks the verdict).
+pub fn delay_vs_load_table(rows: &[DelayVsLoadRow]) -> Table {
+    let mut table = Table::new(
+        "Delay vs. offered load — paper grid, Centralized / FDD / PDD p=0.8 frames",
+        &[
+            "load",
+            "Cent delay p95",
+            "Cent thr(%)",
+            "Cent",
+            "FDD delay p95",
+            "FDD thr(%)",
+            "FDD",
+            "PDD delay p95",
+            "PDD thr(%)",
+            "PDD",
+        ],
+    );
+    let mark = |stable: bool| if stable { "+" } else { "sat" }.to_string();
+    for row in rows {
+        table.push_row(vec![
+            format!("{:.2}", row.offered_load),
+            format!("{:.1}", row.centralized.delay_p95_slots),
+            format!("{:.1}", row.centralized.throughput_pct),
+            mark(row.centralized.stable),
+            format!("{:.1}", row.fdd.delay_p95_slots),
+            format!("{:.1}", row.fdd.throughput_pct),
+            mark(row.fdd.stable),
+            format!("{:.1}", row.pdd_08.delay_p95_slots),
+            format!("{:.1}", row.pdd_08.throughput_pct),
+            mark(row.pdd_08.stable),
+        ]);
+    }
+    table
+}
+
 /// Figure 4 data: SCREAM detection error versus SCREAM size on the simulated
 /// mote testbed.
 pub fn fig4_mote_detection(
@@ -552,6 +669,35 @@ mod tests {
             !table.render().contains(" - "),
             "no placeholder cells when the FDD column is filled"
         );
+    }
+
+    #[test]
+    fn delay_vs_load_finds_the_stability_knee() {
+        // Reduced instance of the figure: loads straddling the centralized
+        // frame's capacity. Below the knee all three frames carry the load
+        // (PDD too, unless its frame is long enough that 0.5 already
+        // saturates it); far above, every frame saturates and delay blows up.
+        let rows = delay_vs_load(&[0.5, 1.6], 16, 3, 150);
+        assert_eq!(rows.len(), 2);
+        let (below, above) = (&rows[0], &rows[1]);
+        assert!(below.centralized.stable && below.fdd.stable);
+        assert!(below.centralized.throughput_pct > 98.0);
+        // Theorem 4: the FDD frame *is* the centralized frame, so the
+        // packet-level outcome matches exactly.
+        assert_eq!(below.fdd, below.centralized);
+        assert_eq!(above.fdd, above.centralized);
+        assert!(!above.centralized.stable);
+        assert!(!above.pdd_08.stable);
+        assert!(above.centralized.throughput_pct < 90.0);
+        assert!(above.centralized.delay_p95_slots > below.centralized.delay_p95_slots);
+        // PDD's knee is earlier (longer frame): at any load it is at least
+        // as saturated as the centralized frame.
+        assert!(above.pdd_08.throughput_pct <= above.centralized.throughput_pct + 1e-9);
+        let table = delay_vs_load_table(&rows);
+        assert_eq!(table.row_count(), 2);
+        let rendered = table.render();
+        assert!(rendered.contains("sat"));
+        assert!(rendered.contains("load"));
     }
 
     #[test]

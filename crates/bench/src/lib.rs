@@ -14,6 +14,7 @@
 //! | Fig. 7 (uniform schedule length) | [`figures::fig7_uniform_improvement`] | `fig7_uniform` |
 //! | Fig. 8 (execution time vs size/diameter) | [`figures::fig8_execution_time`] | `fig8_exec_time` |
 //! | Fig. 9 (execution time vs clock skew) | [`figures::fig9_clock_skew`] | `fig9_clock_skew` |
+//! | Delay vs. load (traffic engine, beyond the paper) | [`figures::delay_vs_load`] | `delay_vs_load` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,4 +30,4 @@ pub use scenario::{
     heavy_demand_instance, heavy_demand_instance_on_channels, PaperScenario, ScenarioInstance,
     Topology,
 };
-pub use sweep::{ScenarioSweep, SweepCell, SweepPoint, SweepReport};
+pub use sweep::{ScenarioSweep, SweepCell, SweepPoint, SweepReport, TrafficPoint};

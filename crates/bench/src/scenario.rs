@@ -19,6 +19,7 @@ use scream_topology::{
     density_to_area_m2, DemandConfig, DemandVector, Deployment, GridDeployment, LinkDemands,
     RoutingForest, UniformDeployment,
 };
+use scream_traffic::{FlowSet, TrafficConfig, TrafficEngine, TrafficReport};
 
 /// Which of the two Section VI-A topology families to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -168,6 +169,8 @@ impl PaperScenario {
         Some(ScenarioInstance {
             deployment,
             env,
+            forest,
+            demands,
             link_demands,
             interference_diameter,
             seed,
@@ -245,6 +248,11 @@ pub struct ScenarioInstance {
     pub deployment: Deployment,
     /// The radio environment (gains, SINR, carrier sensing).
     pub env: RadioEnvironment,
+    /// The routing forest towards the gateways (the flow routes of the
+    /// packet-level traffic evaluation).
+    pub forest: RoutingForest,
+    /// The generated per-node demands the link demands were aggregated from.
+    pub demands: DemandVector,
     /// Aggregated per-link demands along the routing forest.
     pub link_demands: LinkDemands,
     /// Interference diameter of the sensitivity graph.
@@ -295,6 +303,49 @@ impl ScenarioInstance {
     /// A clock-skew-adjusted configuration for the Figure 9 sweep.
     pub fn config_with_skew(&self, skew: ClockSkewConfig) -> ProtocolConfig {
         self.protocol_config().with_clock_skew(skew)
+    }
+
+    /// The paper's traffic pattern at load factor `rho` against a frame of
+    /// `frame_slots` slots: one deterministic flow per non-gateway node,
+    /// routed along the forest, injecting `rho · demand(v) / frame_slots`
+    /// packets per slot.
+    ///
+    /// Because a demand-satisfying frame serves link `e` for exactly
+    /// `aggregate_demand(e)` of its `frame_slots` slots, this puts **every**
+    /// link at utilization exactly `rho`: the whole network crosses its
+    /// stability knee together at `rho = 1`, which is what makes `rho` a
+    /// clean sweep axis.
+    pub fn flows_at_load(&self, rho: f64, frame_slots: u64) -> FlowSet {
+        assert!(rho > 0.0 && rho.is_finite(), "load factor must be positive");
+        assert!(frame_slots > 0, "the frame must have slots");
+        FlowSet::along_forest(&self.forest, &self.demands, rho / frame_slots as f64)
+    }
+
+    /// Runs the packet-level traffic engine over `schedule` (as a repeating
+    /// TDMA frame) at load factor `rho` **relative to that schedule's own
+    /// capacity**, for `horizon_frames` frame repetitions.
+    pub fn run_traffic(&self, schedule: &Schedule, rho: f64, horizon_frames: u64) -> TrafficReport {
+        self.run_traffic_against(schedule, rho, schedule.length() as u64, horizon_frames)
+    }
+
+    /// Like [`run_traffic`](Self::run_traffic) but with the load factor
+    /// expressed relative to an explicit reference frame length — the
+    /// absolute-rate comparison the `delay_vs_load` figure uses so that
+    /// Centralized, FDD and PDD face the *same* packet streams.
+    pub fn run_traffic_against(
+        &self,
+        schedule: &Schedule,
+        rho: f64,
+        reference_frame_slots: u64,
+        horizon_frames: u64,
+    ) -> TrafficReport {
+        TrafficEngine::on_schedule(
+            schedule,
+            self.flows_at_load(rho, reference_frame_slots),
+            TrafficConfig::new(horizon_frames).with_seed(self.seed),
+        )
+        .expect("paper-scenario instances have non-empty frames and flows")
+        .run()
     }
 }
 
@@ -366,6 +417,65 @@ mod tests {
             light_schedule.length() * 10_000,
             "per-link demand scales the schedule uniformly on this instance"
         );
+    }
+
+    #[test]
+    fn flows_at_load_put_every_link_at_exactly_rho() {
+        let instance = PaperScenario::grid(1500.0)
+            .with_node_count(16)
+            .instantiate(3);
+        let schedule = instance.run_centralized();
+        let frame_slots = schedule.length() as u64;
+        let flows = instance.flows_at_load(0.7, frame_slots);
+        assert_eq!(
+            flows.len(),
+            instance
+                .forest
+                .flow_routes()
+                .filter(|(v, _)| instance.demands.demand(*v) > 0)
+                .count()
+        );
+        // The schedule allocates exactly demand(e) slots per frame to link e,
+        // so the offered/share ratio is rho on every demanded link.
+        for (link, demand) in instance.link_demands.demanded_links() {
+            let share = demand as f64 / frame_slots as f64;
+            assert!(
+                (flows.offered_on(link) - 0.7 * share).abs() < 1e-9,
+                "link {link} is not at utilization rho"
+            );
+        }
+    }
+
+    #[test]
+    fn run_traffic_is_stable_below_the_knee_and_overloaded_above() {
+        // The acceptance scenario: Centralized and FDD frames on the paper
+        // grid carry sub-capacity load and saturate above it, byte-for-byte
+        // reproducibly per seed.
+        let instance = PaperScenario::grid(1500.0)
+            .with_node_count(16)
+            .instantiate(3);
+        let centralized = instance.run_centralized();
+        let fdd = instance.run_protocol(ProtocolKind::Fdd);
+        assert_eq!(fdd.schedule, centralized);
+        for schedule in [&centralized, &fdd.schedule] {
+            let below = instance.run_traffic(schedule, 0.6, 300);
+            assert!(below.verdict.is_stable());
+            assert!(below.sustained_throughput_pct > 98.0, "{below}");
+            assert!(
+                below.final_backlog < below.injected / 20,
+                "bounded backlog below the knee: {below}"
+            );
+
+            let above = instance.run_traffic(schedule, 1.5, 300);
+            assert!(!above.verdict.is_stable());
+            assert!(above.sustained_throughput_pct < 90.0, "{above}");
+            // Delay grows with the simulated horizon in overload.
+            let above_longer = instance.run_traffic(schedule, 1.5, 600);
+            assert!(above_longer.delay.mean_slots > above.delay.mean_slots);
+            // Determinism across reruns of the same seed.
+            assert_eq!(below, instance.run_traffic(schedule, 0.6, 300));
+            assert_eq!(above, instance.run_traffic(schedule, 1.5, 300));
+        }
     }
 
     #[test]

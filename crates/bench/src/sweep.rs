@@ -1,17 +1,18 @@
-//! Parallel density × channel × seed scenario sweeps.
+//! Parallel density × channel × load × seed scenario sweeps.
 //!
 //! The paper's evaluation (and every dense-scenario workload on the roadmap)
 //! is a grid of independent experiments: one [`PaperScenario`] family,
-//! swept over node densities (and optionally channel counts), with several
-//! seeds per cell. Each cell is pure — [`PaperScenario::instantiate`] is
+//! swept over node densities (and optionally channel counts and packet-level
+//! offered-load factors), with several seeds per cell. Each cell is pure — [`PaperScenario::instantiate`] is
 //! deterministic per seed and `RadioEnvironment` is `Sync` — and since the
 //! interference-ledger refactor all scheduling state is per-slot-local, so
 //! cells parallelize across cores with no shared mutable state.
 //!
 //! [`ScenarioSweep`] runs the grid via rayon's `par_iter`, preserving cell
 //! order, which makes parallel sweeps **deterministic**: the result vector
-//! for a given (scenario, densities, channels, seeds) tuple is identical
-//! however many worker threads execute it, cell by cell, byte for byte.
+//! for a given (scenario, densities, channels, loads, seeds) tuple is
+//! identical however many worker threads execute it, cell by cell, byte for
+//! byte.
 //!
 //! ```
 //! use scream_bench::{PaperScenario, ScenarioSweep};
@@ -32,14 +33,16 @@ use scream_scheduling::{serialized_schedule, verify_schedule, ScheduleMetrics};
 use crate::report::Table;
 use crate::scenario::{PaperScenario, ScenarioInstance};
 
-/// A density × channel × seed grid of paper-scenario experiments, executed
-/// across all available cores.
+/// A density × channel × load × seed grid of paper-scenario experiments,
+/// executed across all available cores.
 #[derive(Debug, Clone)]
 pub struct ScenarioSweep {
     base: PaperScenario,
     densities: Vec<f64>,
     channel_counts: Vec<usize>,
+    offered_loads: Vec<f64>,
     seeds: Vec<u64>,
+    traffic_horizon_frames: u64,
 }
 
 /// One sweep cell's coordinates plus the value the sweep computed for it.
@@ -49,10 +52,27 @@ pub struct SweepCell<T> {
     pub density_per_km2: f64,
     /// Number of orthogonal channels of this cell.
     pub channel_count: usize,
+    /// Offered-load factor of this cell (1.0 = the frame's capacity).
+    pub offered_load: f64,
     /// Instance seed of this cell.
     pub seed: u64,
     /// Whatever the sweep's function computed on the instance.
     pub value: T,
+}
+
+/// The packet-level outcome of one sweep cell: the traffic engine run on
+/// the cell's verified schedule (used as a repeating TDMA frame) at the
+/// cell's offered-load factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficPoint {
+    /// Offered-load factor (per-link utilization; 1.0 is the knee).
+    pub offered_load: f64,
+    /// Percentage of injected packets delivered within the horizon.
+    pub sustained_throughput_pct: f64,
+    /// 95th-percentile end-to-end delay, in slots.
+    pub delay_p95_slots: f64,
+    /// Analytic stability verdict (offered load vs. per-link share).
+    pub stable: bool,
 }
 
 /// The default per-cell result of [`ScenarioSweep::run`]: the verified
@@ -80,6 +100,9 @@ pub struct SweepPoint {
     pub fdd: ScheduleMetrics,
     /// Schedule metrics of the serialized (one link per slot) baseline.
     pub linear: ScheduleMetrics,
+    /// Packet-level traffic outcome on the centralized frame (which the FDD
+    /// frame equals by Theorem 4) at this cell's offered-load factor.
+    pub traffic: TrafficPoint,
 }
 
 impl ScenarioSweep {
@@ -92,7 +115,9 @@ impl ScenarioSweep {
             base,
             densities: vec![base.density_per_km2],
             channel_counts: vec![base.channel_count],
+            offered_loads: vec![0.9],
             seeds: vec![0],
+            traffic_horizon_frames: 50,
         }
     }
 
@@ -113,30 +138,56 @@ impl ScenarioSweep {
         self
     }
 
-    /// Sets the seeds to run per (density, channel count).
+    /// Sets the offered-load factors to sweep (the packet-level load axis):
+    /// every cell's traffic run puts each link at `load ×` its per-frame
+    /// service share, so 1.0 is the stability knee. Default: `[0.9]`.
+    pub fn offered_loads(mut self, loads: &[f64]) -> Self {
+        assert!(!loads.is_empty(), "sweep needs at least one offered load");
+        assert!(
+            loads.iter().all(|l| l.is_finite() && *l > 0.0),
+            "offered loads must be finite and positive"
+        );
+        self.offered_loads = loads.to_vec();
+        self
+    }
+
+    /// Sets how many frame repetitions each cell's traffic run simulates
+    /// (default 50).
+    pub fn traffic_horizon(mut self, frames: u64) -> Self {
+        assert!(frames > 0, "the traffic horizon must be at least one frame");
+        self.traffic_horizon_frames = frames;
+        self
+    }
+
+    /// Sets the seeds to run per (density, channel count, offered load).
     pub fn seeds(mut self, seeds: &[u64]) -> Self {
         assert!(!seeds.is_empty(), "sweep needs at least one seed");
         self.seeds = seeds.to_vec();
         self
     }
 
-    /// The (density, channel count, seed) coordinate grid, density-major,
-    /// then channel-major, then by seed — the order every `run` variant
-    /// returns its cells in.
-    pub fn grid(&self) -> Vec<(f64, usize, u64)> {
+    /// The (density, channel count, offered load, seed) coordinate grid,
+    /// density-major, then channel-major, then by load, then by seed — the
+    /// order every `run` variant returns its cells in.
+    pub fn grid(&self) -> Vec<(f64, usize, f64, u64)> {
         self.densities
             .iter()
             .flat_map(|&d| {
-                self.channel_counts
-                    .iter()
-                    .flat_map(move |&c| self.seeds.iter().map(move |&s| (d, c, s)))
+                self.channel_counts.iter().flat_map(move |&c| {
+                    self.offered_loads
+                        .iter()
+                        .flat_map(move |&l| self.seeds.iter().map(move |&s| (d, c, l, s)))
+                })
             })
             .collect()
     }
 
     /// Number of cells in the sweep.
     pub fn len(&self) -> usize {
-        self.densities.len() * self.channel_counts.len() * self.seeds.len()
+        self.densities.len()
+            * self.channel_counts.len()
+            * self.offered_loads.len()
+            * self.seeds.len()
     }
 
     /// Whether the sweep grid is empty (never, given the constructors).
@@ -145,16 +196,18 @@ impl ScenarioSweep {
     }
 
     /// Runs `f` on every instantiated cell in parallel, returning the cells
-    /// in grid order regardless of thread scheduling.
+    /// in grid order regardless of thread scheduling. `f` receives the
+    /// drawn instance and the cell's offered-load factor (the instance draw
+    /// itself does not depend on the load).
     pub fn run_with<T, F>(&self, f: F) -> Vec<SweepCell<T>>
     where
         T: Send,
-        F: Fn(&ScenarioInstance) -> T + Sync,
+        F: Fn(&ScenarioInstance, f64) -> T + Sync,
     {
         let base = self.base;
         self.grid()
             .into_par_iter()
-            .map(|(density, channels, seed)| {
+            .map(|(density, channels, load, seed)| {
                 let mut scenario = base;
                 scenario.density_per_km2 = density;
                 scenario.channel_count = channels;
@@ -162,8 +215,9 @@ impl ScenarioSweep {
                 SweepCell {
                     density_per_km2: density,
                     channel_count: channels,
+                    offered_load: load,
                     seed,
-                    value: f(&instance),
+                    value: f(&instance, load),
                 }
             })
             .collect()
@@ -185,37 +239,75 @@ impl ScenarioSweep {
     /// measurement harness, and a verification failure means the measurement
     /// would be garbage.
     pub fn run(&self) -> Vec<SweepPoint> {
-        self.run_with(|instance| {
-            let schedule = instance.run_centralized();
-            verify_schedule(&instance.env, &schedule, &instance.link_demands)
-                .expect("centralized schedule must verify on every sweep cell");
-            let fdd = instance.run_protocol(ProtocolKind::Fdd);
-            verify_schedule(&instance.env, &fdd.schedule, &instance.link_demands)
-                .expect("FDD schedule must verify on every sweep cell");
-            let linear = serialized_schedule(&instance.link_demands);
-            (
-                instance.interference_diameter,
-                instance.link_demands.total_demand(),
-                instance.metrics(&schedule),
-                instance.metrics(&fdd.schedule),
-                instance.metrics(&linear),
-            )
-        })
-        .into_iter()
-        .map(|cell| {
-            let (interference_diameter, total_demand, centralized, fdd, linear) = cell.value;
-            SweepPoint {
-                density_per_km2: cell.density_per_km2,
-                channel_count: cell.channel_count,
-                seed: cell.seed,
-                interference_diameter,
-                total_demand,
-                centralized,
-                fdd,
-                linear,
+        let horizon = self.traffic_horizon_frames;
+        let base = self.base;
+        // The instance draw, the scheduling runs and the verifications are
+        // all load-independent, so the load axis fans out *inside* each
+        // (density, channel, seed) cell: a multi-load sweep schedules and
+        // verifies each instance exactly once and only re-runs the (cheap)
+        // traffic engine per load value.
+        let triples: Vec<(f64, usize, u64)> = self
+            .densities
+            .iter()
+            .flat_map(|&d| {
+                self.channel_counts
+                    .iter()
+                    .flat_map(move |&c| self.seeds.iter().map(move |&s| (d, c, s)))
+            })
+            .collect();
+        let per_triple: Vec<Vec<SweepPoint>> = triples
+            .into_par_iter()
+            .map(|(density, channels, seed)| {
+                let mut scenario = base;
+                scenario.density_per_km2 = density;
+                scenario.channel_count = channels;
+                let instance = scenario.instantiate(seed);
+                let schedule = instance.run_centralized();
+                verify_schedule(&instance.env, &schedule, &instance.link_demands)
+                    .expect("centralized schedule must verify on every sweep cell");
+                let fdd = instance.run_protocol(ProtocolKind::Fdd);
+                verify_schedule(&instance.env, &fdd.schedule, &instance.link_demands)
+                    .expect("FDD schedule must verify on every sweep cell");
+                let linear = serialized_schedule(&instance.link_demands);
+                let (centralized, fdd, linear) = (
+                    instance.metrics(&schedule),
+                    instance.metrics(&fdd.schedule),
+                    instance.metrics(&linear),
+                );
+                self.offered_loads
+                    .iter()
+                    .map(|&load| {
+                        let traffic = instance.run_traffic(&schedule, load, horizon);
+                        SweepPoint {
+                            density_per_km2: density,
+                            channel_count: channels,
+                            seed,
+                            interference_diameter: instance.interference_diameter,
+                            total_demand: instance.link_demands.total_demand(),
+                            centralized,
+                            fdd,
+                            linear,
+                            traffic: TrafficPoint {
+                                offered_load: load,
+                                sustained_throughput_pct: traffic.sustained_throughput_pct,
+                                delay_p95_slots: traffic.delay.p95_slots,
+                                stable: traffic.verdict.is_stable(),
+                            },
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Reassemble in the documented grid order (loads vary *outside* the
+        // seeds): per_triple is (density, channel, seed)-ordered with loads
+        // innermost.
+        let mut points = Vec::with_capacity(self.len());
+        for block in per_triple.chunks(self.seeds.len()) {
+            for li in 0..self.offered_loads.len() {
+                points.extend(block.iter().map(|cell| cell[li].clone()));
             }
-        })
-        .collect()
+        }
+        points
     }
 }
 
@@ -233,7 +325,7 @@ pub struct SweepReport {
 
 impl SweepReport {
     /// Column headers shared by the CSV and table exports.
-    const COLUMNS: [&'static str; 14] = [
+    const COLUMNS: [&'static str; 16] = [
         "density_per_km2",
         "channel_count",
         "seed",
@@ -248,6 +340,8 @@ impl SweepReport {
         "fdd_vs_centralized_pct",
         "linear_slots",
         "linear_spatial_reuse",
+        "offered_load",
+        "sustained_throughput_pct",
     ];
 
     fn row(p: &SweepPoint) -> Vec<String> {
@@ -268,6 +362,8 @@ impl SweepReport {
             format!("{:.2}", p.fdd.length_ratio_pct(&p.centralized)),
             p.linear.length.to_string(),
             format!("{:.3}", p.linear.spatial_reuse),
+            format!("{:.2}", p.traffic.offered_load),
+            format!("{:.2}", p.traffic.sustained_throughput_pct),
         ]
     }
 
@@ -315,9 +411,9 @@ mod tests {
         assert_eq!(sweep.len(), 6);
         assert!(!sweep.is_empty());
         let grid = sweep.grid();
-        assert_eq!(grid[0], (1_500.0, 1, 1));
-        assert_eq!(grid[2], (1_500.0, 1, 3));
-        assert_eq!(grid[3], (4_000.0, 1, 1));
+        assert_eq!(grid[0], (1_500.0, 1, 0.9, 1));
+        assert_eq!(grid[2], (1_500.0, 1, 0.9, 3));
+        assert_eq!(grid[3], (4_000.0, 1, 0.9, 1));
     }
 
     #[test]
@@ -328,10 +424,24 @@ mod tests {
             .seeds(&[7, 8]);
         assert_eq!(sweep.len(), 8);
         let grid = sweep.grid();
-        assert_eq!(grid[0], (1_500.0, 1, 7));
-        assert_eq!(grid[1], (1_500.0, 1, 8));
-        assert_eq!(grid[2], (1_500.0, 2, 7));
-        assert_eq!(grid[4], (4_000.0, 1, 7));
+        assert_eq!(grid[0], (1_500.0, 1, 0.9, 7));
+        assert_eq!(grid[1], (1_500.0, 1, 0.9, 8));
+        assert_eq!(grid[2], (1_500.0, 2, 0.9, 7));
+        assert_eq!(grid[4], (4_000.0, 1, 0.9, 7));
+    }
+
+    #[test]
+    fn grid_includes_the_load_axis() {
+        let sweep = ScenarioSweep::new(PaperScenario::grid(2_000.0).with_node_count(16))
+            .densities(&[1_500.0])
+            .offered_loads(&[0.5, 1.5])
+            .seeds(&[7, 8]);
+        assert_eq!(sweep.len(), 4);
+        let grid = sweep.grid();
+        assert_eq!(grid[0], (1_500.0, 1, 0.5, 7));
+        assert_eq!(grid[1], (1_500.0, 1, 0.5, 8));
+        assert_eq!(grid[2], (1_500.0, 1, 1.5, 7));
+        assert_eq!(grid[3], (1_500.0, 1, 1.5, 8));
     }
 
     #[test]
@@ -342,9 +452,10 @@ mod tests {
         assert_eq!(first, second, "same grid must reproduce identical results");
         // Results come back in grid order, and the per-cell instances match a
         // sequential instantiation of the same coordinates.
-        for (point, (density, channels, seed)) in first.iter().zip(sweep.grid()) {
+        for (point, (density, channels, load, seed)) in first.iter().zip(sweep.grid()) {
             assert_eq!(point.density_per_km2, density);
             assert_eq!(point.channel_count, channels);
+            assert_eq!(point.traffic.offered_load, load);
             assert_eq!(point.seed, seed);
             assert!(point.total_demand > 0);
             assert!(point.interference_diameter >= 1);
@@ -358,7 +469,7 @@ mod tests {
         let sequential: Vec<SweepPoint> = sweep
             .grid()
             .into_iter()
-            .map(|(density, channels, seed)| {
+            .map(|(density, channels, load, seed)| {
                 let mut scenario = PaperScenario::grid(2_000.0).with_node_count(16);
                 scenario.density_per_km2 = density;
                 scenario.channel_count = channels;
@@ -366,6 +477,7 @@ mod tests {
                 let schedule = instance.run_centralized();
                 let fdd = instance.run_protocol(scream_core::ProtocolKind::Fdd);
                 let linear = serialized_schedule(&instance.link_demands);
+                let traffic = instance.run_traffic(&schedule, load, 50);
                 SweepPoint {
                     density_per_km2: density,
                     channel_count: channels,
@@ -375,6 +487,12 @@ mod tests {
                     centralized: instance.metrics(&schedule),
                     fdd: instance.metrics(&fdd.schedule),
                     linear: instance.metrics(&linear),
+                    traffic: TrafficPoint {
+                        offered_load: load,
+                        sustained_throughput_pct: traffic.sustained_throughput_pct,
+                        delay_p95_slots: traffic.delay.p95_slots,
+                        stable: traffic.verdict.is_stable(),
+                    },
                 }
             })
             .collect();
@@ -382,17 +500,46 @@ mod tests {
     }
 
     #[test]
-    fn run_with_exposes_the_instance() {
+    fn run_with_exposes_the_instance_and_load() {
         let sweep =
             ScenarioSweep::new(PaperScenario::uniform(3_000.0).with_node_count(16)).seeds(&[5, 6]);
-        let cells = sweep.run_with(|instance| {
+        let cells = sweep.run_with(|instance, load| {
             assert_eq!(instance.deployment.len(), 16);
+            assert_eq!(load, 0.9, "the default load axis is a single 0.9 cell");
             instance.env.communication_graph().edge_count()
         });
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.value > 0));
         assert_eq!(cells[0].seed, 5);
         assert_eq!(cells[0].channel_count, 1);
+        assert_eq!(cells[0].offered_load, 0.9);
+    }
+
+    #[test]
+    fn load_axis_crosses_the_stability_knee() {
+        let sweep = ScenarioSweep::new(PaperScenario::grid(2_000.0).with_node_count(16))
+            .densities(&[1_500.0])
+            .offered_loads(&[0.6, 1.5])
+            .traffic_horizon(200)
+            .seeds(&[3]);
+        let points = sweep.run();
+        assert_eq!(points.len(), 2);
+        let (below, above) = (&points[0], &points[1]);
+        assert_eq!(below.traffic.offered_load, 0.6);
+        assert!(below.traffic.stable);
+        assert!(below.traffic.sustained_throughput_pct > 98.0);
+        assert_eq!(above.traffic.offered_load, 1.5);
+        assert!(!above.traffic.stable);
+        assert!(
+            above.traffic.sustained_throughput_pct < below.traffic.sustained_throughput_pct - 5.0
+        );
+        assert!(above.traffic.delay_p95_slots > below.traffic.delay_p95_slots);
+        // The shared row helper renders both new columns.
+        let row = SweepReport::row(below);
+        assert_eq!(row.len(), SweepReport::COLUMNS.len());
+        assert_eq!(row[14], "0.60");
+        let pct: f64 = row[15].parse().unwrap();
+        assert!(pct > 98.0);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use scream_netsim::{
     ChannelId, ChannelSlotLedger, ProtocolTiming, RadioEnvironment, SimTime, SlotTiming,
 };
-use scream_scheduling::{Schedule, ScheduleMetrics, SlotPattern};
+use scream_scheduling::{FrameService, Schedule, ScheduleMetrics, SlotPattern};
 use scream_topology::{Link, LinkDemands};
 
 use crate::config::ProtocolConfig;
@@ -678,6 +678,15 @@ impl DistributedRun {
     pub fn metrics(&self, demands: &LinkDemands) -> ScheduleMetrics {
         ScheduleMetrics::compute(&self.schedule, demands)
     }
+
+    /// The computed schedule read as a repeating TDMA frame: per-link service
+    /// windows and shares, indexed from the run-length representation. This
+    /// is the hand-off from protocol execution to packet-level evaluation —
+    /// feed it straight into a `scream_traffic::TrafficEngine` to measure
+    /// the distributed schedule under sustained load.
+    pub fn frame_service(&self) -> FrameService {
+        FrameService::from_schedule(&self.schedule)
+    }
 }
 
 #[cfg(test)]
@@ -742,6 +751,29 @@ mod tests {
                 distributed.schedule, centralized,
                 "FDD diverged from GreedyPhysical for seed {seed}"
             );
+        }
+    }
+
+    #[test]
+    fn frame_service_exposes_the_run_as_a_tdma_frame() {
+        // The packet-level hand-off: the frame index of a distributed run
+        // serves every demanded link for exactly its demand's worth of slots
+        // per frame (the schedule satisfies demands exactly, so shares are
+        // demand(e) / length).
+        let (_, env, ld) = grid_instance(4, 150.0, 1);
+        let run = DistributedScheduler::fdd()
+            .with_config(config_for(&env))
+            .run(&env, &ld)
+            .unwrap();
+        let frame = run.frame_service();
+        assert_eq!(frame.frame_slots() as usize, run.schedule.length());
+        for (link, demand) in ld.demanded_links() {
+            assert_eq!(
+                frame.service_slots(link),
+                demand,
+                "frame serves {link} once per demanded slot"
+            );
+            assert!(frame.service_share(link) > 0.0);
         }
     }
 
@@ -933,7 +965,7 @@ mod tests {
         verify_schedule(&env, &run.schedule, &ld).unwrap();
         let centralized = GreedyPhysical::paper_baseline().schedule(&env, &ld);
         assert_eq!(run.schedule, centralized);
-        assert!(run.schedule.slots().all(|slot| slot.len() == 1));
+        assert!(run.schedule.runs().all(|(slot, _)| slot.len() == 1));
     }
 
     #[test]

@@ -223,4 +223,78 @@ mod tests {
         assert_eq!(q.len(), 0);
         assert_eq!(q.peek_time(), None);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of an interleaved workload: schedule a batch of events
+        /// at `now + delay`, then pop up to `pops` events.
+        type Step = (u8, u8, u8); // (batch, delay, pops)
+
+        /// Replays the steps and returns the full delivery sequence as
+        /// `(time, payload)` pairs, where the payload is the global
+        /// scheduling index of the event.
+        fn replay(steps: &[Step]) -> Vec<(SimTime, u32)> {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            let mut next_id = 0u32;
+            let mut delivered = Vec::new();
+            for &(batch, delay, pops) in steps {
+                let at = q.now() + SimTime::from_millis(u64::from(delay % 8));
+                for _ in 0..batch % 4 {
+                    q.schedule(at, next_id);
+                    next_id += 1;
+                }
+                for _ in 0..pops % 4 {
+                    if let Some(ev) = q.pop() {
+                        delivered.push((ev.time, ev.event));
+                    }
+                }
+            }
+            while let Some(ev) = q.pop() {
+                delivered.push((ev.time, ev.event));
+            }
+            delivered
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The contract the module docs pin: events scheduled for the
+            /// same instant are delivered in the order they were scheduled
+            /// (FIFO per timestamp), deliveries never go back in time, and
+            /// the whole interleaving — scheduling more events between pops,
+            /// batches landing on already-popped timestamps' successors —
+            /// replays deterministically.
+            #[test]
+            fn same_timestamp_fifo_is_deterministic_under_interleaving(
+                steps in prop::collection::vec(
+                    (0u8..=255, 0u8..=255, 0u8..=255), 1..40)
+            ) {
+                let delivered = replay(&steps);
+                // Time order is total and non-decreasing.
+                for pair in delivered.windows(2) {
+                    prop_assert!(pair[0].0 <= pair[1].0, "time went backwards");
+                    // FIFO tie-break: equal timestamps preserve scheduling
+                    // order, which for this workload means increasing ids.
+                    if pair[0].0 == pair[1].0 {
+                        prop_assert!(
+                            pair[0].1 < pair[1].1,
+                            "same-timestamp events left the queue out of \
+                             scheduling order: {} before {}",
+                            pair[0].1,
+                            pair[1].1
+                        );
+                    }
+                }
+                // Every scheduled event is delivered exactly once.
+                let mut ids: Vec<u32> = delivered.iter().map(|&(_, id)| id).collect();
+                ids.sort_unstable();
+                let expected: Vec<u32> = (0..ids.len() as u32).collect();
+                prop_assert_eq!(ids, expected);
+                // The interleaving replays byte-identically.
+                prop_assert_eq!(delivered, replay(&steps));
+            }
+        }
+    }
 }

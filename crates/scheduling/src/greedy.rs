@@ -497,9 +497,10 @@ mod tests {
         let protocol_model = ProtocolModel::new(UnitDiskGraphBuilder::new(260.0).build(&d), 2);
         let protocol = GreedyPhysical::paper_baseline().schedule(&protocol_model, &ld);
         verify_schedule(&protocol_model, &protocol, &ld).unwrap();
+        // Walk runs, not slots: each distinct pattern is SINR-checked once.
         let sinr_violations = protocol
-            .slots()
-            .filter(|slot| slot.len() > 1 && !env.slot_feasible(slot.links()))
+            .runs()
+            .filter(|(slot, _)| slot.len() > 1 && !env.slot_feasible(slot.links()))
             .count();
         assert!(
             sinr_violations > 0,

@@ -43,6 +43,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod feasibility;
+pub mod frame;
 pub mod greedy;
 pub mod linear;
 pub mod metrics;
@@ -53,6 +54,7 @@ pub use feasibility::{
     ChannelId, ChannelSlotAccumulator, FromScratch, LinkSinrMargin, ProtocolModel, SlotAccumulator,
     SlotFeasibility,
 };
+pub use frame::{FrameService, NextService, ServiceWindow};
 pub use greedy::{EdgeOrdering, GreedyPhysical};
 pub use linear::serialized_schedule;
 pub use metrics::ScheduleMetrics;
@@ -65,6 +67,7 @@ pub mod prelude {
         ChannelId, ChannelSlotAccumulator, FromScratch, LinkSinrMargin, ProtocolModel,
         SlotAccumulator, SlotFeasibility,
     };
+    pub use crate::frame::{FrameService, NextService, ServiceWindow};
     pub use crate::greedy::{EdgeOrdering, GreedyPhysical};
     pub use crate::linear::serialized_schedule;
     pub use crate::metrics::ScheduleMetrics;

@@ -56,7 +56,7 @@ mod tests {
     fn every_slot_holds_exactly_one_link() {
         let demands = LinkDemands::from_links(5, &[(link(1, 0), 3), (link(3, 2), 2)]).unwrap();
         let s = serialized_schedule(&demands);
-        assert!(s.slots().all(|slot| slot.len() == 1));
+        assert!(s.runs().all(|(slot, _)| slot.len() == 1));
         assert!((s.spatial_reuse() - 1.0).abs() < 1e-12);
     }
 

@@ -225,6 +225,19 @@ impl RoutingForest {
         route
     }
 
+    /// One traffic flow source per non-gateway node: the node paired with
+    /// its full route to the gateway (starting with the node's own link), in
+    /// node-id order. This is the packet-level reading of the forest — every
+    /// mesh node is a flow source whose packets traverse exactly these links
+    /// — and the input the `scream-traffic` engine builds its flow sets
+    /// from.
+    pub fn flow_routes(&self) -> impl Iterator<Item = (NodeId, Vec<Link>)> + '_ {
+        (0..self.node_count() as u32)
+            .map(NodeId::new)
+            .filter(|&v| !self.is_gateway(v))
+            .map(|v| (v, self.route_to_gateway(v)))
+    }
+
     /// Children of `node` in its routing tree.
     pub fn children(&self, node: NodeId) -> Vec<NodeId> {
         (0..self.node_count() as u32)
@@ -375,6 +388,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn flow_routes_cover_every_non_gateway_node() {
+        let (_, f) = grid_forest(4);
+        let routes: Vec<(NodeId, Vec<Link>)> = f.flow_routes().collect();
+        assert_eq!(routes.len(), 15, "one flow per non-gateway node");
+        for (node, route) in &routes {
+            assert!(!f.is_gateway(*node));
+            assert_eq!(route, &f.route_to_gateway(*node));
+            assert_eq!(route[0].head, *node, "routes start at the source");
+            assert_eq!(
+                route.last().unwrap().tail,
+                f.root_of(*node),
+                "routes end at the node's gateway"
+            );
+            // Contiguity: each hop hands over to the next.
+            for pair in route.windows(2) {
+                assert_eq!(pair[0].tail, pair[1].head);
+            }
+        }
+        // Node-id order.
+        let ids: Vec<u32> = routes.iter().map(|(n, _)| n.index() as u32).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
     }
 
     #[test]

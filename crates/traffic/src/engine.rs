@@ -1,0 +1,674 @@
+//! The packet-level traffic engine.
+//!
+//! [`TrafficEngine`] drives a [`FlowSet`] over a repeating TDMA frame (any
+//! run-length [`Schedule`], indexed by [`FrameService`] so million-slot
+//! frames cost nothing per slot) on the deterministic discrete-event engine
+//! of `scream_netsim::des`. Each link runs a FIFO queue served one packet
+//! per scheduled `(channel, link)` slot entry; packets hop along their
+//! flow's route and are measured end to end.
+//!
+//! # Event structure
+//!
+//! The simulation is event-driven, never slot-driven: the only events are
+//! packet **arrivals** (drawn from each flow's [`ArrivalProcess`]) and
+//! per-hop **departures**. A departure slot is assigned the moment a packet
+//! reaches the head-of-line position context allows — because service is
+//! FIFO and each scheduled slot serves a fixed number of packets, every
+//! packet's departure slot is determined when it joins the queue:
+//!
+//! > `departure(p) = next scheduled slot ≥ max(packet ready slot,
+//! >  first slot the server is free after the previous packet)`
+//!
+//! which [`FrameService::next_service_slot`] answers in O(log #windows).
+//! The cost of a run is therefore O(packet-hops · log #windows + events),
+//! independent of the frame's slot count — an idle million-slot frame is
+//! exactly as cheap as an idle ten-slot frame.
+//!
+//! Determinism: arrivals are seeded per flow (ChaCha), the event queue
+//! breaks timestamp ties in scheduling order (the contract `des.rs` pins),
+//! and no wall-clock value enters the simulation, so the same inputs
+//! reproduce the same [`TrafficReport`] byte for byte.
+
+use std::collections::VecDeque;
+
+use scream_netsim::{EventQueue, SimTime};
+use scream_scheduling::{FrameService, Schedule};
+use scream_topology::Link;
+
+use crate::flow::{ArrivalSampler, FlowSet};
+use crate::report::{DelayStats, LinkLoad, StabilityVerdict, TrafficReport};
+
+/// Configuration of a traffic run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficConfig {
+    /// How many frame repetitions to simulate.
+    pub horizon_frames: u64,
+    /// Seed for the arrival processes (each flow derives its own stream).
+    pub seed: u64,
+    /// Wall-clock duration of one slot (only used to anchor [`SimTime`]
+    /// event timestamps; all report metrics are slot-denominated).
+    pub slot_duration: SimTime,
+}
+
+impl TrafficConfig {
+    /// A configuration simulating `horizon_frames` frame repetitions with
+    /// seed 0 and a 1 ms slot.
+    pub fn new(horizon_frames: u64) -> Self {
+        Self {
+            horizon_frames,
+            seed: 0,
+            slot_duration: SimTime::from_millis(1),
+        }
+    }
+
+    /// Overrides the arrival seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the slot duration.
+    pub fn with_slot_duration(mut self, slot_duration: SimTime) -> Self {
+        self.slot_duration = slot_duration;
+        self
+    }
+}
+
+/// Why a [`TrafficEngine`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrafficError {
+    /// The frame has no slots, so nothing can ever be served.
+    EmptyFrame,
+    /// The flow set is empty, so there is nothing to simulate.
+    NoFlows,
+    /// The horizon is zero frames.
+    ZeroHorizon,
+    /// The slot duration is zero.
+    ZeroSlotDuration,
+}
+
+impl std::fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyFrame => write!(f, "the TDMA frame has no slots"),
+            Self::NoFlows => write!(f, "the flow set is empty"),
+            Self::ZeroHorizon => write!(f, "the horizon must be at least one frame"),
+            Self::ZeroSlotDuration => write!(f, "the slot duration must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// A packet in flight: which flow it belongs to, which hop of the route it
+/// is queued at, and when it was created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Packet {
+    flow: u32,
+    hop: u32,
+    created: SimTime,
+}
+
+/// The DES event payload: a flow's next packet arrival, or the departure of
+/// the head-of-line packet at a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrafficEvent {
+    Arrival { flow: u32 },
+    Departure { link: u32 },
+}
+
+/// Per-link FIFO queue plus the TDMA server cursor (the last slot departures
+/// were assigned to, and how much of its capacity is used).
+#[derive(Debug, Default)]
+struct LinkQueue {
+    queue: VecDeque<Packet>,
+    /// `(slot, used, capacity)` of the most recently assigned service slot.
+    cursor: Option<(u64, u32, u32)>,
+}
+
+/// The packet-level traffic engine. See the module docs for the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficEngine {
+    frame: FrameService,
+    flows: FlowSet,
+    config: TrafficConfig,
+}
+
+impl TrafficEngine {
+    /// Creates an engine serving `flows` with the repeating frame indexed by
+    /// `frame`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty frames, empty flow sets and degenerate configurations.
+    pub fn new(
+        frame: FrameService,
+        flows: FlowSet,
+        config: TrafficConfig,
+    ) -> Result<Self, TrafficError> {
+        if frame.is_empty() {
+            return Err(TrafficError::EmptyFrame);
+        }
+        if flows.is_empty() {
+            return Err(TrafficError::NoFlows);
+        }
+        if config.horizon_frames == 0 {
+            return Err(TrafficError::ZeroHorizon);
+        }
+        if config.slot_duration == SimTime::ZERO {
+            return Err(TrafficError::ZeroSlotDuration);
+        }
+        Ok(Self {
+            frame,
+            flows,
+            config,
+        })
+    }
+
+    /// [`new`](Self::new) directly from a schedule (the frame index is built
+    /// with [`FrameService::from_schedule`]).
+    pub fn on_schedule(
+        schedule: &Schedule,
+        flows: FlowSet,
+        config: TrafficConfig,
+    ) -> Result<Self, TrafficError> {
+        Self::new(FrameService::from_schedule(schedule), flows, config)
+    }
+
+    /// The frame index the engine serves from.
+    pub fn frame(&self) -> &FrameService {
+        &self.frame
+    }
+
+    /// The flows the engine drives.
+    pub fn flows(&self) -> &FlowSet {
+        &self.flows
+    }
+
+    /// The per-link offered load vs. service share, and the resulting
+    /// analytic stability verdict — computable without simulating.
+    pub fn link_loads(&self) -> (Vec<LinkLoad>, StabilityVerdict) {
+        let mut loads: Vec<LinkLoad> = Vec::new();
+        for flow in self.flows.flows() {
+            for &link in &flow.route {
+                if loads.iter().any(|l| l.link == link) {
+                    continue;
+                }
+                loads.push(LinkLoad {
+                    link,
+                    offered_per_slot: self.flows.offered_on(link),
+                    service_share: self.frame.service_share(link),
+                });
+            }
+        }
+        let bottlenecks: Vec<LinkLoad> = loads.iter().filter(|l| !l.is_stable()).copied().collect();
+        let verdict = if bottlenecks.is_empty() {
+            StabilityVerdict::Stable
+        } else {
+            StabilityVerdict::Overloaded { bottlenecks }
+        };
+        (loads, verdict)
+    }
+
+    /// Runs the simulation over `horizon_frames` frame repetitions and
+    /// returns the measurements. Deterministic: rerunning the same engine
+    /// yields an identical report.
+    pub fn run(&self) -> TrafficReport {
+        Simulation::new(self).run()
+    }
+}
+
+/// One simulation run's mutable state.
+struct Simulation<'a> {
+    engine: &'a TrafficEngine,
+    slot_ns: u64,
+    horizon: SimTime,
+    samplers: Vec<ArrivalSampler>,
+    /// Link index per flow hop: `hop_links[f][h]` indexes into `queues`.
+    hop_links: Vec<Vec<u32>>,
+    links: Vec<Link>,
+    queues: Vec<LinkQueue>,
+    injected: u64,
+    delivered: u64,
+    in_flight: u64,
+    peak_backlog: u64,
+    delays_slots: Vec<f64>,
+}
+
+impl<'a> Simulation<'a> {
+    fn new(engine: &'a TrafficEngine) -> Self {
+        let slot_ns = engine.config.slot_duration.as_nanos();
+        let horizon_slots = engine.config.horizon_frames * engine.frame.frame_slots();
+        let mut links: Vec<Link> = Vec::new();
+        let mut hop_links = Vec::with_capacity(engine.flows.len());
+        for flow in engine.flows.flows() {
+            let hops = flow
+                .route
+                .iter()
+                .map(|&link| match links.iter().position(|&l| l == link) {
+                    Some(i) => i as u32,
+                    None => {
+                        links.push(link);
+                        (links.len() - 1) as u32
+                    }
+                })
+                .collect();
+            hop_links.push(hops);
+        }
+        let samplers = engine
+            .flows
+            .flows()
+            .iter()
+            .enumerate()
+            .map(|(i, flow)| {
+                let seed = engine
+                    .config
+                    .seed
+                    .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                ArrivalSampler::new(flow.arrival, seed)
+            })
+            .collect();
+        let queues = links.iter().map(|_| LinkQueue::default()).collect();
+        Self {
+            engine,
+            slot_ns,
+            horizon: engine.config.slot_duration.saturating_mul(horizon_slots),
+            samplers,
+            hop_links,
+            links,
+            queues,
+            injected: 0,
+            delivered: 0,
+            in_flight: 0,
+            peak_backlog: 0,
+            delays_slots: Vec::new(),
+        }
+    }
+
+    /// The first slot whose service a packet becoming ready at `time` can
+    /// use: the slot starting at or after `time`.
+    fn ready_slot(&self, time: SimTime) -> u64 {
+        time.as_nanos().div_ceil(self.slot_ns)
+    }
+
+    /// Assigns the departure slot for a packet joining `link`'s FIFO queue
+    /// with the given ready slot, honoring per-slot service capacity.
+    /// Returns `None` when the frame never serves the link (the packet is
+    /// parked forever).
+    fn assign_departure(&mut self, link_idx: u32, ready: u64) -> Option<u64> {
+        let link = self.links[link_idx as usize];
+        let cursor = &mut self.queues[link_idx as usize].cursor;
+        if let Some((slot, used, capacity)) = *cursor {
+            if ready <= slot {
+                if used < capacity {
+                    *cursor = Some((slot, used + 1, capacity));
+                    return Some(slot);
+                }
+                let next = self.engine.frame.next_service_slot(link, slot + 1)?;
+                self.queues[link_idx as usize].cursor = Some((next.slot, 1, next.capacity));
+                return Some(next.slot);
+            }
+        }
+        let next = self.engine.frame.next_service_slot(link, ready)?;
+        self.queues[link_idx as usize].cursor = Some((next.slot, 1, next.capacity));
+        Some(next.slot)
+    }
+
+    /// Enqueues `packet` at `link`, assigning its departure and scheduling
+    /// the departure event (at the end of the assigned slot).
+    fn enqueue(
+        &mut self,
+        queue: &mut EventQueue<TrafficEvent>,
+        link_idx: u32,
+        packet: Packet,
+        ready: u64,
+    ) {
+        let departure = self.assign_departure(link_idx, ready);
+        self.queues[link_idx as usize].queue.push_back(packet);
+        if let Some(slot) = departure {
+            let at = self.engine.config.slot_duration.saturating_mul(slot + 1);
+            queue.schedule(at, TrafficEvent::Departure { link: link_idx });
+        }
+    }
+
+    fn schedule_next_arrival(&mut self, queue: &mut EventQueue<TrafficEvent>, flow: u32) {
+        let slots = self.samplers[flow as usize].next_arrival_slots();
+        let at = SimTime::from_nanos((slots * self.slot_ns as f64).round() as u64);
+        if at < self.horizon {
+            queue.schedule(at.max(queue.now()), TrafficEvent::Arrival { flow });
+        }
+    }
+
+    fn handle(&mut self, queue: &mut EventQueue<TrafficEvent>, event: TrafficEvent, now: SimTime) {
+        match event {
+            TrafficEvent::Arrival { flow } => {
+                self.injected += 1;
+                self.in_flight += 1;
+                self.peak_backlog = self.peak_backlog.max(self.in_flight);
+                let packet = Packet {
+                    flow,
+                    hop: 0,
+                    created: now,
+                };
+                let first = self.hop_links[flow as usize][0];
+                self.enqueue(queue, first, packet, self.ready_slot(now));
+                self.schedule_next_arrival(queue, flow);
+            }
+            TrafficEvent::Departure { link } => {
+                let mut packet = self.queues[link as usize]
+                    .queue
+                    .pop_front()
+                    .expect("departure events match queued packets one to one");
+                packet.hop += 1;
+                let route = &self.hop_links[packet.flow as usize];
+                if (packet.hop as usize) < route.len() {
+                    let next = route[packet.hop as usize];
+                    self.enqueue(queue, next, packet, self.ready_slot(now));
+                } else {
+                    self.delivered += 1;
+                    self.in_flight -= 1;
+                    let delay = now.saturating_sub(packet.created);
+                    self.delays_slots
+                        .push(delay.as_nanos() as f64 / self.slot_ns as f64);
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> TrafficReport {
+        let mut queue: EventQueue<TrafficEvent> = EventQueue::new();
+        for flow in 0..self.engine.flows.len() as u32 {
+            self.schedule_next_arrival(&mut queue, flow);
+        }
+        let horizon = self.horizon;
+        queue.run_until(horizon, |q, ev| self.handle(q, ev.event, ev.time));
+        let horizon_slots = self.engine.config.horizon_frames * self.engine.frame.frame_slots();
+        let (link_loads, verdict) = self.engine.link_loads();
+        let delay = DelayStats::from_delays(std::mem::take(&mut self.delays_slots));
+        TrafficReport {
+            frame_slots: self.engine.frame.frame_slots(),
+            horizon_slots,
+            flow_count: self.engine.flows.len(),
+            offered_per_slot: self.engine.flows.total_offered(),
+            injected: self.injected,
+            delivered: self.delivered,
+            sustained_throughput_per_slot: self.delivered as f64 / horizon_slots as f64,
+            sustained_throughput_pct: if self.injected == 0 {
+                100.0
+            } else {
+                100.0 * self.delivered as f64 / self.injected as f64
+            },
+            delay,
+            peak_backlog: self.peak_backlog,
+            final_backlog: self.injected - self.delivered,
+            link_loads,
+            verdict,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{ArrivalProcess, Flow, FlowSet};
+    use scream_topology::NodeId;
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    /// A frame serving `link` in `serve` of `total` slots.
+    fn fractional_frame(l: Link, serve: u64, total: u64) -> Schedule {
+        let mut s = Schedule::new();
+        s.push_slot_run(vec![l], serve);
+        s.push_slot_run(vec![], total - serve);
+        s
+    }
+
+    fn single_hop_engine(rate: f64, serve: u64, total: u64, frames: u64) -> TrafficEngine {
+        let l = link(1, 0);
+        let flows = FlowSet::single_hop(vec![(l, ArrivalProcess::deterministic(rate))]);
+        TrafficEngine::on_schedule(
+            &fractional_frame(l, serve, total),
+            flows,
+            TrafficConfig::new(frames),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_degenerate_inputs() {
+        let l = link(1, 0);
+        let flows = FlowSet::single_hop(vec![(l, ArrivalProcess::deterministic(0.1))]);
+        let frame = fractional_frame(l, 1, 2);
+        assert_eq!(
+            TrafficEngine::on_schedule(&Schedule::new(), flows.clone(), TrafficConfig::new(1)),
+            Err(TrafficError::EmptyFrame)
+        );
+        assert_eq!(
+            TrafficEngine::on_schedule(&frame, FlowSet::default(), TrafficConfig::new(1)),
+            Err(TrafficError::NoFlows)
+        );
+        assert_eq!(
+            TrafficEngine::on_schedule(&frame, flows.clone(), TrafficConfig::new(0)),
+            Err(TrafficError::ZeroHorizon)
+        );
+        assert_eq!(
+            TrafficEngine::on_schedule(
+                &frame,
+                flows,
+                TrafficConfig::new(1).with_slot_duration(SimTime::ZERO)
+            ),
+            Err(TrafficError::ZeroSlotDuration)
+        );
+    }
+
+    #[test]
+    fn uncontended_single_hop_packets_wait_one_slot() {
+        // Every slot serves the link; deterministic arrivals at t = 2, 4, ...
+        // slots are served in the slot they become ready in, so the
+        // end-to-end delay is exactly one slot (the service time).
+        let report = single_hop_engine(0.5, 1, 1, 100).run();
+        assert_eq!(report.horizon_slots, 100);
+        assert_eq!(report.injected, 49, "arrivals at 2, 4, ..., 98");
+        assert_eq!(report.delivered, 49, "all served before the horizon");
+        assert_eq!(report.final_backlog, 0);
+        assert_eq!(report.peak_backlog, 1);
+        assert_eq!(report.delay.count, 49);
+        assert_eq!(report.delay.mean_slots, 1.0);
+        assert_eq!(report.delay.max_slots, 1.0);
+        assert!(report.verdict.is_stable());
+        assert_eq!(report.sustained_throughput_pct, 100.0);
+    }
+
+    #[test]
+    fn multi_hop_pipeline_delay_adds_per_hop_service() {
+        // Frame: slot 0 serves 2->1, slot 1 serves 1->0. A packet arriving
+        // at an even slot crosses both hops in consecutive slots: delay 2.
+        let upstream = link(2, 1);
+        let downstream = link(1, 0);
+        let frame = Schedule::from_slots(vec![vec![upstream], vec![downstream]]);
+        let flows = FlowSet::new(vec![Flow::new(
+            NodeId::new(2),
+            vec![upstream, downstream],
+            ArrivalProcess::deterministic(0.25),
+        )]);
+        let report = TrafficEngine::on_schedule(&frame, flows, TrafficConfig::new(100))
+            .unwrap()
+            .run();
+        assert_eq!(report.injected, 49, "arrivals at 4, 8, ..., 196");
+        assert_eq!(report.delivered, 49);
+        assert_eq!(report.delay.mean_slots, 2.0);
+        assert_eq!(report.delay.max_slots, 2.0);
+        assert_eq!(report.link_loads.len(), 2);
+        assert!(report.verdict.is_stable());
+    }
+
+    #[test]
+    fn below_capacity_throughput_sustains_the_offered_load() {
+        // 80% utilization of a half-rate link: the queue stays bounded and
+        // the carried load equals the offered load (modulo in-flight edge
+        // packets).
+        let report = single_hop_engine(0.4, 1, 2, 500).run();
+        assert!(report.verdict.is_stable());
+        let expected = report.offered_per_slot * report.horizon_slots as f64;
+        assert!(report.injected as f64 >= expected - 2.0);
+        assert!(report.sustained_throughput_pct > 99.0);
+        assert!(
+            report.final_backlog <= 2,
+            "backlog {}",
+            report.final_backlog
+        );
+        let per_slot = report.sustained_throughput_per_slot;
+        assert!(
+            (per_slot - report.offered_per_slot).abs() < 0.01,
+            "sustained {per_slot} vs offered {}",
+            report.offered_per_slot
+        );
+    }
+
+    #[test]
+    fn above_capacity_the_verdict_flips_and_delay_grows_with_horizon() {
+        // 120% utilization: delivered saturates at the service share, the
+        // backlog scales with the horizon and so does the mean delay.
+        let short = single_hop_engine(0.6, 1, 2, 100).run();
+        let long = single_hop_engine(0.6, 1, 2, 400).run();
+        for report in [&short, &long] {
+            assert!(!report.verdict.is_stable());
+            let StabilityVerdict::Overloaded { bottlenecks } = &report.verdict else {
+                panic!("expected overload");
+            };
+            assert_eq!(bottlenecks.len(), 1);
+            assert!((bottlenecks[0].utilization() - 1.2).abs() < 1e-9);
+            // Sustained throughput saturates at the 0.5 pkt/slot share.
+            assert!((report.sustained_throughput_per_slot - 0.5).abs() < 0.02);
+            assert!(report.sustained_throughput_pct < 90.0);
+        }
+        assert!(long.final_backlog > 3 * short.final_backlog / 2);
+        assert!(
+            long.delay.mean_slots > 2.0 * short.delay.mean_slots,
+            "delay must grow with the horizon in overload: {} vs {}",
+            long.delay.mean_slots,
+            short.delay.mean_slots
+        );
+        assert!(long.peak_backlog >= long.final_backlog);
+    }
+
+    #[test]
+    fn a_link_the_frame_never_serves_is_an_infinite_bottleneck() {
+        let served = link(1, 0);
+        let orphan = link(3, 2);
+        let frame = fractional_frame(served, 1, 1);
+        let flows = FlowSet::single_hop(vec![(orphan, ArrivalProcess::deterministic(0.25))]);
+        let report = TrafficEngine::on_schedule(&frame, flows, TrafficConfig::new(20))
+            .unwrap()
+            .run();
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.final_backlog, report.injected);
+        assert!(report.injected > 0);
+        let StabilityVerdict::Overloaded { bottlenecks } = &report.verdict else {
+            panic!("expected overload");
+        };
+        assert_eq!(bottlenecks[0].utilization(), f64::INFINITY);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_every_arrival_process() {
+        let l = link(1, 0);
+        let frame = fractional_frame(l, 2, 3);
+        for process in [
+            ArrivalProcess::deterministic(0.3),
+            ArrivalProcess::poisson(0.3),
+            ArrivalProcess::on_off(1.0, 8.0, 8.0),
+        ] {
+            let build = || {
+                TrafficEngine::on_schedule(
+                    &frame,
+                    FlowSet::single_hop(vec![(l, process)]),
+                    TrafficConfig::new(60).with_seed(11),
+                )
+                .unwrap()
+            };
+            let a = build().run();
+            let b = build().run();
+            assert_eq!(a, b, "same seed must reproduce byte-identical reports");
+            let other_seed = TrafficEngine::on_schedule(
+                &frame,
+                FlowSet::single_hop(vec![(l, process)]),
+                TrafficConfig::new(60).with_seed(12),
+            )
+            .unwrap()
+            .run();
+            // Deterministic arrivals ignore the seed; the random ones use it.
+            if matches!(process, ArrivalProcess::Deterministic { .. }) {
+                assert_eq!(a.injected, other_seed.injected);
+            } else {
+                assert_ne!(a, other_seed, "different seeds should diverge");
+            }
+            assert!(a.injected > 0 && a.delivered > 0);
+        }
+    }
+
+    #[test]
+    fn poisson_load_below_capacity_is_stable_in_practice() {
+        let l = link(1, 0);
+        let frame = fractional_frame(l, 1, 2);
+        let flows = FlowSet::single_hop(vec![(l, ArrivalProcess::poisson(0.35))]);
+        let report =
+            TrafficEngine::on_schedule(&frame, flows, TrafficConfig::new(2_000).with_seed(3))
+                .unwrap()
+                .run();
+        assert!(report.verdict.is_stable());
+        assert!(report.sustained_throughput_pct > 99.0);
+        // M/D-ish queue at 70% utilization: delays are modest but not the
+        // deterministic 2-slot floor.
+        assert!(
+            report.delay.p95_slots < 40.0,
+            "p95 {}",
+            report.delay.p95_slots
+        );
+        assert!(report.delay.mean_slots >= 1.0);
+    }
+
+    #[test]
+    fn million_slot_frames_simulate_in_pattern_time() {
+        // A frame of 1M slots serving the link in its first 100k slots: the
+        // engine must index and simulate this without per-slot work.
+        let l = link(1, 0);
+        let frame = fractional_frame(l, 100_000, 1_000_000);
+        let flows = FlowSet::single_hop(vec![(l, ArrivalProcess::deterministic(0.05))]);
+        let report = TrafficEngine::on_schedule(&frame, flows, TrafficConfig::new(1))
+            .unwrap()
+            .run();
+        assert_eq!(report.frame_slots, 1_000_000);
+        assert!(report.injected > 40_000);
+        // Offered 0.05 < share 0.1, but packets arriving after the service
+        // prefix wait for the next frame repetition (which is beyond the
+        // horizon), so the bulk of the tail stays queued: the stability
+        // verdict is a long-run statement, backlog within one frame is not.
+        assert!(report.verdict.is_stable());
+        // 0.05 pkt/slot over the 100k-slot service prefix: ~5000 packets go
+        // through within the frame; the rest queue for the next repetition.
+        assert!(report.delivered >= 4_999, "the prefix is served in-frame");
+    }
+
+    #[test]
+    fn shared_link_aggregates_two_flows_fifo() {
+        // Two deterministic flows share one link at combined utilization 0.9;
+        // both are carried and the report sums their loads.
+        let l = link(1, 0);
+        let frame = fractional_frame(l, 1, 1);
+        let flows = FlowSet::new(vec![
+            Flow::new(NodeId::new(1), vec![l], ArrivalProcess::deterministic(0.5)),
+            Flow::new(NodeId::new(1), vec![l], ArrivalProcess::deterministic(0.4)),
+        ]);
+        let report = TrafficEngine::on_schedule(&frame, flows, TrafficConfig::new(300))
+            .unwrap()
+            .run();
+        assert!(report.verdict.is_stable());
+        assert_eq!(report.link_loads.len(), 1);
+        assert!((report.link_loads[0].offered_per_slot - 0.9).abs() < 1e-12);
+        assert!(report.sustained_throughput_pct > 99.0);
+        assert!(report.peak_backlog <= 8);
+    }
+}

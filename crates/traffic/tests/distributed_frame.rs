@@ -1,0 +1,135 @@
+//! End-to-end: a schedule computed by the distributed runtime is fed
+//! straight into the traffic engine via `DistributedRun::frame_service`,
+//! and the packet-level stability behaviour matches the analytic
+//! offered-load-vs-share verdict on both sides of the knee.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use scream_core::{DistributedScheduler, ProtocolConfig};
+use scream_netsim::{PropagationModel, RadioEnvironment};
+use scream_topology::{DemandConfig, DemandVector, GridDeployment, LinkDemands, RoutingForest};
+use scream_traffic::{FlowSet, TrafficConfig, TrafficEngine};
+
+struct Instance {
+    forest: RoutingForest,
+    demands: DemandVector,
+    link_demands: LinkDemands,
+    env: RadioEnvironment,
+}
+
+fn grid_instance(seed: u64) -> Instance {
+    let d = GridDeployment::new(4, 4, 150.0).build();
+    let env = RadioEnvironment::builder()
+        .propagation(PropagationModel::log_distance(3.0))
+        .build(&d);
+    let graph = env.communication_graph();
+    let gws = d.corner_nodes();
+    let forest = RoutingForest::shortest_path(&graph, &gws, seed).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let demands = DemandVector::generate(d.len(), DemandConfig::PAPER, &gws, &mut rng);
+    let link_demands = LinkDemands::aggregate(&forest, &demands).unwrap();
+    Instance {
+        forest,
+        demands,
+        link_demands,
+        env,
+    }
+}
+
+/// Flows at load factor `rho` relative to the frame: each node injects
+/// `rho * demand(v) / frame_slots` packets per slot, so every link's offered
+/// load is exactly `rho` times its per-frame service share (the schedule
+/// allocates `aggregate_demand(e)` slots per frame to link `e`).
+fn flows_at_load(instance: &Instance, rho: f64, frame_slots: u64) -> FlowSet {
+    FlowSet::along_forest(
+        &instance.forest,
+        &instance.demands,
+        rho / frame_slots as f64,
+    )
+}
+
+#[test]
+fn distributed_fdd_frame_carries_load_below_the_knee_and_saturates_above() {
+    let instance = grid_instance(1);
+    let config = ProtocolConfig::paper_default()
+        .with_scream_slots(instance.env.interference_diameter().max(1));
+    let run = DistributedScheduler::fdd()
+        .with_config(config)
+        .run(&instance.env, &instance.link_demands)
+        .unwrap();
+    let frame = run.frame_service();
+    assert_eq!(frame.frame_slots() as usize, run.schedule.length());
+
+    // Below the knee: every link at 60% utilization. The load is carried and
+    // the queues stay bounded.
+    let below = TrafficEngine::new(
+        frame.clone(),
+        flows_at_load(&instance, 0.6, frame.frame_slots()),
+        TrafficConfig::new(400),
+    )
+    .unwrap()
+    .run();
+    assert!(below.verdict.is_stable());
+    for load in &below.link_loads {
+        assert!(
+            (load.utilization() - 0.6).abs() < 1e-9,
+            "every link sits at exactly rho: {load:?}"
+        );
+    }
+    assert!(below.sustained_throughput_pct > 98.0, "{below}");
+
+    // Above the knee: 140% utilization. The verdict flips, throughput
+    // saturates and the backlog scales with the horizon.
+    let above_engine = TrafficEngine::new(
+        frame.clone(),
+        flows_at_load(&instance, 1.4, frame.frame_slots()),
+        TrafficConfig::new(400),
+    )
+    .unwrap();
+    let above = above_engine.run();
+    assert!(!above.verdict.is_stable());
+    assert!(above.sustained_throughput_pct < 90.0, "{above}");
+    assert!(above.final_backlog > below.final_backlog);
+
+    // Determinism across reruns of the same engine.
+    assert_eq!(above, above_engine.run());
+}
+
+#[test]
+fn pdd_frames_drive_the_engine_too() {
+    // PDD schedules are longer than FDD's, so at the same absolute per-node
+    // rates the PDD frame is the first to saturate — the knee ordering the
+    // delay_vs_load figure measures.
+    let instance = grid_instance(3);
+    let config = ProtocolConfig::paper_default()
+        .with_scream_slots(instance.env.interference_diameter().max(1));
+    let fdd = DistributedScheduler::fdd()
+        .with_config(config)
+        .run(&instance.env, &instance.link_demands)
+        .unwrap();
+    let pdd = DistributedScheduler::pdd(0.2)
+        .unwrap()
+        .with_config(config)
+        .run(&instance.env, &instance.link_demands)
+        .unwrap();
+    assert!(pdd.schedule.length() >= fdd.schedule.length());
+
+    // Rates sized to 95% of the FDD frame's capacity.
+    let flows = flows_at_load(&instance, 0.95, fdd.frame_service().frame_slots());
+    let fdd_report =
+        TrafficEngine::new(fdd.frame_service(), flows.clone(), TrafficConfig::new(200))
+            .unwrap()
+            .run();
+    let pdd_report = TrafficEngine::new(pdd.frame_service(), flows, TrafficConfig::new(200))
+        .unwrap()
+        .run();
+    assert!(fdd_report.verdict.is_stable());
+    // On the PDD frame the same absolute rates hit utilization
+    // 0.95 · L_pdd / L_fdd on every link; it overloads iff that exceeds 1.
+    let pdd_utilization = 0.95 * pdd.schedule.length() as f64 / fdd.schedule.length() as f64;
+    assert_eq!(pdd_report.verdict.is_stable(), pdd_utilization < 1.0);
+    if !pdd_report.verdict.is_stable() {
+        assert!(pdd_report.sustained_throughput_pct <= fdd_report.sustained_throughput_pct);
+    }
+}

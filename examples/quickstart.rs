@@ -77,4 +77,17 @@ fn main() {
         pdd.execution_secs(),
         pdd.stats.rounds
     );
+
+    // 5. Carry actual packets over the distributed schedule: every node
+    //    streams traffic to its gateway at 80% of the frame's capacity.
+    let frame = fdd.frame_service();
+    let flows = FlowSet::along_forest(&forest, &demands, 0.8 / frame.frame_slots() as f64);
+    let engine = TrafficEngine::new(frame, flows, TrafficConfig::new(200).with_seed(42))
+        .expect("the FDD frame serves every demanded link");
+    let report = engine.run();
+    println!("traffic at 80% load: {report}");
+    assert!(
+        report.verdict.is_stable(),
+        "sub-capacity load must be sustainable"
+    );
 }

@@ -16,6 +16,9 @@
 //!   (`scream-scheduling`);
 //! * [`protocols`] — the SCREAM primitive, leader election and the PDD /
 //!   FDD / AFDD distributed schedulers (`scream-core`);
+//! * [`traffic`] — the packet-level traffic engine: flows, per-link FIFO
+//!   queues and delay/throughput/stability metrics over any schedule used as
+//!   a repeating TDMA frame (`scream-traffic`);
 //! * [`mote`] — the Mica2 SCREAM-detection experiment simulation
 //!   (`scream-mote`);
 //! * [`analysis`] — empirical checks of the paper's theorems
@@ -76,6 +79,12 @@ pub mod protocols {
     pub use scream_core::*;
 }
 
+/// The packet-level traffic engine: flows, queues and delay/throughput
+/// metrics over SCREAM TDMA frames (`scream-traffic`).
+pub mod traffic {
+    pub use scream_traffic::*;
+}
+
 /// The simulated Mica2 SCREAM-detection experiment (`scream-mote`).
 pub mod mote {
     pub use scream_mote::*;
@@ -93,4 +102,5 @@ pub mod prelude {
     pub use scream_netsim::prelude::*;
     pub use scream_scheduling::prelude::*;
     pub use scream_topology::prelude::*;
+    pub use scream_traffic::prelude::*;
 }

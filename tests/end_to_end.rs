@@ -235,3 +235,51 @@ fn localized_scheduling_fails_where_global_scheduling_succeeds() {
     assert!(!env.can_add_to_slot(&[ce.link_l], ce.link_l_prime));
     assert!(!env.slot_feasible(&[ce.link_l, ce.link_l_prime]));
 }
+
+#[test]
+fn traffic_engine_carries_packets_over_a_distributed_schedule() {
+    // The full pipeline one layer further than scheduling: deployment ->
+    // routing -> demands -> distributed FDD schedule -> packet-level traffic
+    // over that schedule as a repeating TDMA frame, via the facade prelude.
+    let deployment = GridDeployment::new(4, 4, 150.0).build();
+    let env = RadioEnvironment::builder()
+        .propagation(PropagationModel::log_distance(3.0))
+        .build(&deployment);
+    let graph = env.communication_graph();
+    let gateways = vec![deployment.corner_nodes()[0]];
+    let forest = RoutingForest::shortest_path(&graph, &gateways, 5).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let demands =
+        DemandVector::generate(deployment.len(), DemandConfig::PAPER, &gateways, &mut rng);
+    let link_demands = LinkDemands::aggregate(&forest, &demands).unwrap();
+
+    let run = DistributedScheduler::fdd()
+        .with_config(
+            ProtocolConfig::paper_default()
+                .with_scream_slots(env.interference_diameter())
+                .with_seed(5),
+        )
+        .run(&env, &link_demands)
+        .unwrap();
+    verify_schedule(&env, &run.schedule, &link_demands).unwrap();
+
+    // 70% of the frame's capacity: one deterministic flow per mesh node.
+    let frame = run.frame_service();
+    let flows = FlowSet::along_forest(&forest, &demands, 0.7 / frame.frame_slots() as f64);
+    let engine = TrafficEngine::new(frame, flows, TrafficConfig::new(300).with_seed(5)).unwrap();
+    let report = engine.run();
+    assert!(report.verdict.is_stable(), "{report}");
+    assert!(report.sustained_throughput_pct > 98.0, "{report}");
+    assert!(report.delay.mean_slots >= 1.0);
+    assert_eq!(report.flow_count, flows_with_demand(&forest, &demands));
+    assert_eq!(report.final_backlog, report.injected - report.delivered);
+    // Deterministic end to end.
+    assert_eq!(report, engine.run());
+}
+
+fn flows_with_demand(forest: &RoutingForest, demands: &DemandVector) -> usize {
+    forest
+        .flow_routes()
+        .filter(|(v, _)| demands.demand(*v) > 0)
+        .count()
+}
