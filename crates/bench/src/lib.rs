@@ -27,7 +27,7 @@ pub mod sweep;
 
 pub use report::Table;
 pub use scenario::{
-    heavy_demand_instance, heavy_demand_instance_on_channels, PaperScenario, ScenarioInstance,
-    Topology,
+    heavy_demand_instance, heavy_demand_instance_on_channels, LargeScaleScenario, PaperScenario,
+    ScenarioInstance, Topology,
 };
 pub use sweep::{ScenarioSweep, SweepCell, SweepPoint, SweepReport, TrafficPoint};

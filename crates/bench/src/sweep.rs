@@ -229,6 +229,91 @@ impl ScenarioSweep {
         SweepReport { points: self.run() }
     }
 
+    /// Streaming variant of [`run`](Self::run): yields the same points, in
+    /// the same grid order, **without materializing every cell**. Memory
+    /// stays bounded by one `(density, channel)` block — its seeds'
+    /// instances, schedules and metrics — instead of the whole grid, which is
+    /// what lets a million-cell sweep (the `large_scale` regime: many
+    /// densities × loads × seeds) pipe rows straight into a CSV writer.
+    ///
+    /// Within a block the per-seed scheduling runs still execute in parallel
+    /// (and each cell verifies like `run` does); only the load axis and the
+    /// block succession are lazy. Every yielded point is byte-identical to
+    /// the corresponding `run()` entry, pinned by the
+    /// `streaming_rows_match_run` test.
+    pub fn rows_streaming(&self) -> impl Iterator<Item = SweepPoint> + '_ {
+        use std::rc::Rc;
+
+        /// The load-independent part of one (density, channel, seed) cell.
+        struct BaseCell {
+            seed: u64,
+            instance: ScenarioInstance,
+            schedule: scream_scheduling::Schedule,
+            centralized: ScheduleMetrics,
+            fdd: ScheduleMetrics,
+            linear: ScheduleMetrics,
+        }
+
+        let horizon = self.traffic_horizon_frames;
+        let base = self.base;
+        self.densities.iter().flat_map(move |&density| {
+            self.channel_counts.iter().flat_map(move |&channels| {
+                // One block's bases are computed eagerly (and in parallel)
+                // when the iterator first reaches the block, then shared by
+                // every load row via Rc.
+                let bases: Vec<BaseCell> = self
+                    .seeds
+                    .par_iter()
+                    .map(|&seed| {
+                        let mut scenario = base;
+                        scenario.density_per_km2 = density;
+                        scenario.channel_count = channels;
+                        let instance = scenario.instantiate(seed);
+                        let schedule = instance.run_centralized();
+                        verify_schedule(&instance.env, &schedule, &instance.link_demands)
+                            .expect("centralized schedule must verify on every sweep cell");
+                        let fdd = instance.run_protocol(ProtocolKind::Fdd);
+                        verify_schedule(&instance.env, &fdd.schedule, &instance.link_demands)
+                            .expect("FDD schedule must verify on every sweep cell");
+                        let linear = serialized_schedule(&instance.link_demands);
+                        BaseCell {
+                            seed,
+                            centralized: instance.metrics(&schedule),
+                            fdd: instance.metrics(&fdd.schedule),
+                            linear: instance.metrics(&linear),
+                            schedule,
+                            instance,
+                        }
+                    })
+                    .collect();
+                let bases = Rc::new(bases);
+                self.offered_loads.iter().flat_map(move |&load| {
+                    let bases = Rc::clone(&bases);
+                    (0..bases.len()).map(move |i| {
+                        let cell = &bases[i];
+                        let traffic = cell.instance.run_traffic(&cell.schedule, load, horizon);
+                        SweepPoint {
+                            density_per_km2: density,
+                            channel_count: channels,
+                            seed: cell.seed,
+                            interference_diameter: cell.instance.interference_diameter,
+                            total_demand: cell.instance.link_demands.total_demand(),
+                            centralized: cell.centralized,
+                            fdd: cell.fdd,
+                            linear: cell.linear,
+                            traffic: TrafficPoint {
+                                offered_load: load,
+                                sustained_throughput_pct: traffic.sustained_throughput_pct,
+                                delay_p95_slots: traffic.delay.p95_slots,
+                                stable: traffic.verdict.is_stable(),
+                            },
+                        }
+                    })
+                })
+            })
+        })
+    }
+
     /// Runs the centralized GreedyPhysical baseline, the FDD protocol and
     /// the serialized baseline on every cell in parallel, verifying the
     /// centralized and FDD schedules against their instance.
@@ -497,6 +582,20 @@ mod tests {
             })
             .collect();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn streaming_rows_match_run() {
+        let sweep = ScenarioSweep::new(PaperScenario::grid(2_000.0).with_node_count(16))
+            .densities(&[1_500.0, 4_000.0])
+            .offered_loads(&[0.6, 1.2])
+            .seeds(&[1, 2]);
+        let materialized = sweep.run();
+        let streamed: Vec<SweepPoint> = sweep.rows_streaming().collect();
+        assert_eq!(streamed, materialized);
+        // Laziness: taking a prefix yields exactly the first grid rows.
+        let prefix: Vec<SweepPoint> = sweep.rows_streaming().take(3).collect();
+        assert_eq!(prefix.as_slice(), &materialized[..3]);
     }
 
     #[test]

@@ -25,6 +25,42 @@
 //! ([`probe`](SlotLedger::probe)) prices a whole tentative active set in
 //! O((k + a)·a) instead of O((k + a)²).
 //!
+//! # Spatial pruning
+//!
+//! At 10⁵–10⁶ links even the O(k) `can_add` pass dominates: a slot holds
+//! thousands of links, nearly all of them geometrically irrelevant to any
+//! one candidate. A default-constructed ledger on a deployment wider than
+//! the far-field cutoff therefore threads an [`EndpointBuckets`] spatial
+//! index (cells sized from the environment's
+//! [far-field cutoff](RadioEnvironment::far_field)) through the feasibility
+//! probe (deployments that fit inside one cutoff disc skip the index — every
+//! link is "near", so it could never pay for itself; see
+//! [`SlotLedger::new`]):
+//!
+//! * the candidate's two interference sums are taken over the assigned
+//!   endpoints within the cutoff disc only, visited in Chebyshev rings so a
+//!   doomed candidate is **rejected** as soon as its nearby partial sum
+//!   already exceeds the admissible interference;
+//! * the (≤ `unit_mw`-each) far endpoints are replaced by one aggregated
+//!   upper bound, which **accepts** the candidate when even that
+//!   overestimate keeps both directions above β;
+//! * assigned links are re-checked individually only when an endpoint of
+//!   theirs lies inside the candidate's cutoff disc, provided the slot-wide
+//!   worst SINR ratio has more than the far-field unit's worth of headroom.
+//!
+//! Every screen carries a 10⁻⁹ relative margin — about six orders of
+//! magnitude beyond any floating-point rearrangement between a partial sum
+//! and the exact accumulation — and anything inside the margin band falls
+//! back to the exact O(k) computation, so **pruned and exact verdicts are
+//! identical**, not merely close: [`SlotLedger::exact`] /
+//! [`ChannelSlotLedger::exact`] disable pruning and the
+//! `pruned_ledger_matches_exact_*` property tests pin decision-for-decision
+//! agreement (and byte-identical schedules) between the two. [`assign`]
+//! itself stays exact, so the cached sums, margins and feasibility state
+//! never depend on pruning at all.
+//!
+//! [`assign`]: SlotLedger::assign
+//!
 //! # Fidelity to the from-scratch computation
 //!
 //! The ledger mirrors [`RadioEnvironment::handshake_ok`] exactly, including
@@ -41,10 +77,20 @@
 //! exposure (it, too, summed in two different orders), and no drawn instance
 //! gets anywhere near it.
 
+use std::cell::Cell;
+
 use scream_topology::{Link, NodeId};
 
-use crate::environment::RadioEnvironment;
+use crate::environment::{FarField, RadioEnvironment};
 use crate::radio::ChannelId;
+use crate::spatial::{entry_is_head, entry_link, EndpointBuckets, GridGeometry};
+
+/// Relative margin separating the conservative spatial screens from the
+/// exact threshold comparisons. Floating-point rearrangement between a
+/// bucket-order partial sum and the assignment-order exact sum perturbs a
+/// quotient by ~10⁻¹⁵ relative; any verdict closer than 10⁻⁹ to the
+/// threshold is re-derived through the exact code path instead.
+const VERDICT_MARGIN: f64 = 1e-9;
 
 /// Per-link SINR slack relative to the threshold β, in dB.
 ///
@@ -120,6 +166,32 @@ pub struct SlotLedger<'a> {
     /// Whether every pair of assigned links is endpoint-disjoint and no
     /// assigned link is a self-link.
     disjoint: bool,
+    /// Spatial pruning state; `None` for an [`exact`](Self::exact) ledger.
+    pruning: Option<Pruning>,
+}
+
+/// How a [`SlotLedger`] decides whether to build spatial-pruning state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PruningMode {
+    /// Prune iff the deployment extent exceeds the far-field cutoff.
+    Auto,
+    /// Always prune (tests and benchmarks of the pruned path itself).
+    Forced,
+    /// Never prune (the exact reference).
+    Off,
+}
+
+/// Spatial-pruning state of a [`SlotLedger`]: the far-field parameters, the
+/// endpoint bucket index, and the slot-wide SINR headroom that licenses
+/// skipping far links in the existing-links re-check.
+#[derive(Debug, Clone)]
+struct Pruning {
+    far: FarField,
+    buckets: EndpointBuckets,
+    /// Minimum over assigned links and both handshake directions of the
+    /// cached SINR ratio `signal / (noise + interference)`; `+∞` when empty.
+    /// Maintained by [`SlotLedger::assign`]/[`SlotLedger::clear`].
+    min_sinr: f64,
 }
 
 /// Interference contribution of `interferer` transmitting towards `link`'s
@@ -147,8 +219,66 @@ fn ack_term(env: &RadioEnvironment, interferer_tail: NodeId, link: Link) -> Opti
 }
 
 impl<'a> SlotLedger<'a> {
-    /// Opens an empty ledger over the given environment.
+    /// Opens an empty ledger over the given environment. Spatial pruning is
+    /// enabled when the deployment's extent exceeds the far-field cutoff —
+    /// the only case where a probe can ever skip an interferer — and is
+    /// skipped otherwise, because on a deployment that fits inside one
+    /// cutoff disc every link is "near" and the bucket index is pure
+    /// overhead (it costs the small-instance ledger its edge over the
+    /// from-scratch path). Either way decisions are identical to an
+    /// [`exact`](Self::exact) ledger's; use [`pruned`](Self::pruned) to
+    /// force the pruned probe path regardless of extent.
     pub fn new(env: &'a RadioEnvironment) -> Self {
+        Self::with_pruning(env, PruningMode::Auto)
+    }
+
+    /// Opens an empty ledger with spatial pruning forced on (extent
+    /// heuristic bypassed) — for equivalence tests and benchmarks that must
+    /// exercise the pruned probe path on instances of any size.
+    pub fn pruned(env: &'a RadioEnvironment) -> Self {
+        Self::with_pruning(env, PruningMode::Forced)
+    }
+
+    /// Opens an empty ledger with spatial pruning disabled: every probe sums
+    /// all assigned interferers. The reference implementation the pruned
+    /// path is equivalence-tested (and benchmarked) against.
+    pub fn exact(env: &'a RadioEnvironment) -> Self {
+        Self::with_pruning(env, PruningMode::Off)
+    }
+
+    fn with_pruning(env: &'a RadioEnvironment, mode: PruningMode) -> Self {
+        let pruning = if mode == PruningMode::Off {
+            None
+        } else {
+            let far = env.far_field();
+            // A non-positive cutoff means nothing transmits; pruning would
+            // only add overhead (and a degenerate grid).
+            (far.cutoff_m > 0.0
+                && (mode == PruningMode::Forced || {
+                    let (xs, ys) = env.positions();
+                    let span = |vs: &[f64]| {
+                        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                        for &v in vs {
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                        (hi - lo).max(0.0)
+                    };
+                    let (dx, dy) = (span(xs), span(ys));
+                    dx * dx + dy * dy > far.cutoff_sq_m2
+                }))
+            .then(|| {
+                let (xs, ys) = env.positions();
+                // Half-cutoff cells keep the disc scan to a few rings while
+                // giving the ring-order early exit useful granularity.
+                let geometry = GridGeometry::covering(xs, ys, far.cutoff_m / 2.0);
+                Pruning {
+                    far,
+                    buckets: EndpointBuckets::new(geometry),
+                    min_sinr: f64::INFINITY,
+                }
+            })
+        };
         Self {
             env,
             beta: env.config().sinr_threshold_linear(),
@@ -160,7 +290,13 @@ impl<'a> SlotLedger<'a> {
             ack_interference: Vec::new(),
             endpoint_uses: vec![0; env.node_count()],
             disjoint: true,
+            pruning,
         }
+    }
+
+    /// Whether this ledger prunes its feasibility probes spatially.
+    pub fn is_pruned(&self) -> bool {
+        self.pruning.is_some()
     }
 
     /// Opens an empty ledger with all per-link buffers pre-sized for `slots`
@@ -201,6 +337,10 @@ impl<'a> SlotLedger<'a> {
         self.data_interference.clear();
         self.ack_interference.clear();
         self.disjoint = true;
+        if let Some(p) = &mut self.pruning {
+            p.buckets.clear();
+            p.min_sinr = f64::INFINITY;
+        }
     }
 
     /// The environment this ledger prices interference against.
@@ -223,8 +363,20 @@ impl<'a> SlotLedger<'a> {
         self.links.is_empty()
     }
 
-    /// Whether `link` is already assigned.
+    /// Whether `link` is already assigned. Screened through the endpoint
+    /// occupancy table first: a link whose endpoints are both idle cannot be
+    /// in the slot, which turns the common negative answer into O(1) instead
+    /// of an O(k) scan (the difference between quadratic and linear run
+    /// scans in the greedy scheduler at 10⁵ links).
     pub fn contains(&self, link: Link) -> bool {
+        let used = |node: NodeId| {
+            self.endpoint_uses
+                .get(node.index())
+                .is_some_and(|&uses| uses > 0)
+        };
+        if !used(link.head) || !used(link.tail) {
+            return false;
+        }
         self.links.contains(&link)
     }
 
@@ -240,7 +392,9 @@ impl<'a> SlotLedger<'a> {
     /// interference must not push any assigned link below the SINR threshold.
     ///
     /// Equivalent to [`RadioEnvironment::can_add_to_slot`] on the assigned
-    /// link list, but O(k) instead of O(k²) and allocation-free.
+    /// link list, but O(k) instead of O(k²) and allocation-free — and on a
+    /// default (pruned) ledger O(nearby) instead of O(k), with a verdict
+    /// identical to the exact computation (see the [module docs](self)).
     pub fn can_add(&self, candidate: Link) -> bool {
         if candidate.head == candidate.tail {
             return false;
@@ -248,19 +402,28 @@ impl<'a> SlotLedger<'a> {
         if !self.endpoints_free(candidate) {
             return false;
         }
-        // The candidate's own handshake against the accumulated slot.
+        match &self.pruning {
+            Some(p) if !self.links.is_empty() => self.can_add_pruned(p, candidate),
+            _ => self.candidate_handshake_exact(candidate) && self.existing_ok_exact(candidate),
+        }
+    }
+
+    /// The candidate's own two-way handshake against the accumulated slot,
+    /// summed exactly in assignment order.
+    fn candidate_handshake_exact(&self, candidate: Link) -> bool {
         let (cand_data_intf, cand_ack_intf) = self.interference_on(candidate);
-        if !self.meets_beta(
+        self.meets_beta(
             self.env.received_power_mw(candidate.head, candidate.tail),
             cand_data_intf,
-        ) || !self.meets_beta(
+        ) && self.meets_beta(
             self.env.received_power_mw(candidate.tail, candidate.head),
             cand_ack_intf,
-        ) {
-            return false;
-        }
-        // Every assigned link's handshake with the candidate's contribution
-        // added on top of its cached interference sums.
+        )
+    }
+
+    /// Every assigned link's handshake with the candidate's contribution
+    /// added on top of its cached interference sums.
+    fn existing_ok_exact(&self, candidate: Link) -> bool {
         for (i, &link) in self.links.iter().enumerate() {
             let data_extra = data_term(self.env, candidate.head, link).unwrap_or(0.0);
             let ack_extra = ack_term(self.env, candidate.tail, link).unwrap_or(0.0);
@@ -271,6 +434,165 @@ impl<'a> SlotLedger<'a> {
             }
         }
         true
+    }
+
+    /// The spatially-pruned feasibility probe. Self-link and half-duplex
+    /// screens have already passed, so no assigned link shares an endpoint
+    /// with the candidate and every interferer-exclusion test below is
+    /// vacuously `Some` — each of the slot's `k` heads contributes to the
+    /// candidate's data sum and each of its `k` tails to the ACK sum.
+    ///
+    /// Soundness of each screen (why verdicts cannot differ from
+    /// [`exact`](Self::exact)):
+    ///
+    /// * **reject** — the nearby partial sum is a lower bound (up to
+    ///   reordering ulps) on the exact interference, so exceeding the
+    ///   admissible interference by [`VERDICT_MARGIN`] relative means the
+    ///   exact check fails too;
+    /// * **accept** — `near + far_count × unit_mw` is an upper bound (the
+    ///   far-field unit bounds every beyond-cutoff term), so clearing β by
+    ///   the margin means the exact check passes too;
+    /// * **far-links skip** — every far link gains at most `unit_mw`
+    ///   interference, so when the worst cached SINR ratio exceeds
+    ///   `β · (1 + unit/noise)` by the margin, every far link's exact
+    ///   re-check passes; nearby links are re-checked with the exact
+    ///   expressions themselves;
+    /// * anything not decided by a screen falls through to the exact code.
+    fn can_add_pruned(&self, p: &Pruning, candidate: Link) -> bool {
+        let data_signal = self.env.received_power_mw(candidate.head, candidate.tail);
+        let ack_signal = self.env.received_power_mw(candidate.tail, candidate.head);
+        // An interference-free failure fails a fortiori with interference.
+        if !self.meets_beta(data_signal, 0.0) || !self.meets_beta(ack_signal, 0.0) {
+            return false;
+        }
+        let far_links_surely_ok = p.min_sinr
+            >= self.beta * (1.0 + p.far.unit_mw / self.noise_mw) * (1.0 + VERDICT_MARGIN);
+
+        // Scan A — disc around the candidate's tail. In-disc *heads* feed
+        // the candidate's data-direction near sum; each one's link also gets
+        // its exact ACK-margin re-check (its head is close enough to the
+        // candidate's tail for the ACK extra to exceed the far-field unit).
+        let Some((data_near_sum, data_near_count)) = self.scan_disc(
+            p,
+            candidate,
+            self.env.position(candidate.tail),
+            true,
+            data_signal,
+            far_links_surely_ok,
+        ) else {
+            return false;
+        };
+        // Scan B — disc around the candidate's head: in-disc *tails* feed
+        // the ACK near sum and trigger their links' exact data re-checks.
+        let Some((ack_near_sum, ack_near_count)) = self.scan_disc(
+            p,
+            candidate,
+            self.env.position(candidate.head),
+            false,
+            ack_signal,
+            far_links_surely_ok,
+        ) else {
+            return false;
+        };
+
+        let k = self.links.len();
+        let data_upper = data_near_sum + (k - data_near_count) as f64 * p.far.unit_mw;
+        let ack_upper = ack_near_sum + (k - ack_near_count) as f64 * p.far.unit_mw;
+        let candidate_ok = if self.surely_meets_beta(data_signal, data_upper)
+            && self.surely_meets_beta(ack_signal, ack_upper)
+        {
+            true
+        } else {
+            self.candidate_handshake_exact(candidate)
+        };
+        if !candidate_ok {
+            return false;
+        }
+        // Nearby links were re-checked during the scans (a failure returned
+        // early); far links are pre-cleared by the headroom screen, or the
+        // whole set is re-checked exactly.
+        far_links_surely_ok || self.existing_ok_exact(candidate)
+    }
+
+    /// Ring-scans the bucket index over the cutoff disc at `center`,
+    /// returning the candidate's near interference sum and the number of
+    /// in-disc endpoints of role `want_head`, or `None` as soon as either
+    /// the partial sum already surely rejects the candidate (checked after
+    /// each Chebyshev ring, nearest — loudest — cells first) or an in-disc
+    /// link fails its exact margin re-check.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_disc(
+        &self,
+        p: &Pruning,
+        candidate: Link,
+        center: scream_topology::Point2,
+        want_head: bool,
+        signal_mw: f64,
+        check_in_disc_links: bool,
+    ) -> Option<(f64, usize)> {
+        let geometry = p.buckets.geometry();
+        let rect = geometry.cells_intersecting(center, p.far.cutoff_m);
+        let near_sum = Cell::new(0.0f64);
+        let near_count = Cell::new(0usize);
+        let link_failed = Cell::new(false);
+        rect.visit_rings(
+            geometry.cell_of(center),
+            |cx, cy| {
+                if link_failed.get() {
+                    return;
+                }
+                for &entry in p.buckets.entries(geometry.cell_index(cx, cy)) {
+                    if entry_is_head(entry) != want_head {
+                        continue;
+                    }
+                    let i = entry_link(entry);
+                    let link = self.links[i];
+                    let node = if want_head { link.head } else { link.tail };
+                    if self.env.position(node).distance_squared(center) > p.far.cutoff_sq_m2 {
+                        continue;
+                    }
+                    near_sum.set(
+                        near_sum.get()
+                            + self.env.received_power_mw(node, {
+                                if want_head {
+                                    candidate.tail
+                                } else {
+                                    candidate.head
+                                }
+                            }),
+                    );
+                    near_count.set(near_count.get() + 1);
+                    if check_in_disc_links {
+                        // Exact re-check of the disc link's opposite
+                        // direction — the same expression the exact
+                        // existing-links loop evaluates.
+                        let ok = if want_head {
+                            let ack_extra = ack_term(self.env, candidate.tail, link).unwrap_or(0.0);
+                            self.meets_beta(
+                                self.ack_signal[i],
+                                self.ack_interference[i] + ack_extra,
+                            )
+                        } else {
+                            let data_extra =
+                                data_term(self.env, candidate.head, link).unwrap_or(0.0);
+                            self.meets_beta(
+                                self.data_signal[i],
+                                self.data_interference[i] + data_extra,
+                            )
+                        };
+                        if !ok {
+                            link_failed.set(true);
+                            return;
+                        }
+                    }
+                }
+            },
+            || link_failed.get() || self.surely_fails_beta(signal_mw, near_sum.get()),
+        );
+        if link_failed.get() || self.surely_fails_beta(signal_mw, near_sum.get()) {
+            return None;
+        }
+        Some((near_sum.get(), near_count.get()))
     }
 
     /// Adds `link` to the slot, updating every cached interference sum in
@@ -300,6 +622,23 @@ impl<'a> SlotLedger<'a> {
             .push(self.env.received_power_mw(link.tail, link.head));
         self.data_interference.push(data_intf);
         self.ack_interference.push(ack_intf);
+        if let Some(p) = &mut self.pruning {
+            p.buckets.insert(
+                (self.links.len() - 1) as u32,
+                self.env.position(link.head),
+                self.env.position(link.tail),
+            );
+            // Every cached interference sum may have grown, so the slot-wide
+            // headroom is recomputed over the (just-updated) caches — an O(k)
+            // pass folded into the already-O(k) assign.
+            let mut min_sinr = f64::INFINITY;
+            for i in 0..self.links.len() {
+                min_sinr = min_sinr
+                    .min(self.data_signal[i] / (self.noise_mw + self.data_interference[i]))
+                    .min(self.ack_signal[i] / (self.noise_mw + self.ack_interference[i]));
+            }
+            p.min_sinr = min_sinr;
+        }
     }
 
     /// Whether assigned link `i` currently completes both handshake
@@ -453,6 +792,22 @@ impl<'a> SlotLedger<'a> {
     fn meets_beta(&self, signal_mw: f64, interference_mw: f64) -> bool {
         signal_mw / (self.noise_mw + interference_mw) >= self.beta
     }
+
+    /// Conservative accept: `interference_upper_mw` over-estimates the exact
+    /// accumulated interference, so clearing β by [`VERDICT_MARGIN`] relative
+    /// guarantees the exact [`meets_beta`](Self::meets_beta) check passes.
+    #[inline]
+    fn surely_meets_beta(&self, signal_mw: f64, interference_upper_mw: f64) -> bool {
+        signal_mw / (self.noise_mw + interference_upper_mw) >= self.beta * (1.0 + VERDICT_MARGIN)
+    }
+
+    /// Conservative reject: `interference_lower_mw` under-estimates the exact
+    /// accumulated interference, so missing β by the margin guarantees the
+    /// exact check fails.
+    #[inline]
+    fn surely_fails_beta(&self, signal_mw: f64, interference_lower_mw: f64) -> bool {
+        signal_mw / (self.noise_mw + interference_lower_mw) < self.beta * (1.0 - VERDICT_MARGIN)
+    }
 }
 
 /// Result of pricing a tentative active set against a multi-channel ledger
@@ -514,6 +869,38 @@ impl<'a> ChannelSlotLedger<'a> {
         }
     }
 
+    /// Opens an empty ledger set whose per-channel ledgers have spatial
+    /// pruning forced on (see [`SlotLedger::pruned`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_count` is zero.
+    pub fn pruned(env: &'a RadioEnvironment, channel_count: usize) -> Self {
+        assert!(channel_count >= 1, "at least one channel is required");
+        Self {
+            channels: (0..channel_count)
+                .map(|_| SlotLedger::pruned(env))
+                .collect(),
+            node_uses: vec![0; env.node_count()],
+            cross_channel_disjoint: true,
+        }
+    }
+
+    /// Opens an empty ledger set whose per-channel ledgers have spatial
+    /// pruning disabled (see [`SlotLedger::exact`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_count` is zero.
+    pub fn exact(env: &'a RadioEnvironment, channel_count: usize) -> Self {
+        assert!(channel_count >= 1, "at least one channel is required");
+        Self {
+            channels: (0..channel_count).map(|_| SlotLedger::exact(env)).collect(),
+            node_uses: vec![0; env.node_count()],
+            cross_channel_disjoint: true,
+        }
+    }
+
     /// Number of channels in the set.
     pub fn channel_count(&self) -> usize {
         self.channels.len()
@@ -551,8 +938,18 @@ impl<'a> ChannelSlotLedger<'a> {
         self.channels.iter().all(SlotLedger::is_empty)
     }
 
-    /// Whether `link` is assigned on any channel.
+    /// Whether `link` is assigned on any channel. O(1) for the common
+    /// negative answer, via the same endpoint-occupancy screen as
+    /// [`SlotLedger::contains`].
     pub fn contains_link(&self, link: Link) -> bool {
+        let used = |node: NodeId| {
+            self.node_uses
+                .get(node.index())
+                .is_some_and(|&uses| uses > 0)
+        };
+        if !used(link.head) || !used(link.tail) {
+            return false;
+        }
         self.channels.iter().any(|l| l.contains(link))
     }
 
@@ -1128,6 +1525,78 @@ mod tests {
     }
 
     #[test]
+    fn pruned_and_exact_ledgers_agree_decision_for_decision() {
+        // Dense 8x8 grid: adjacent links conflict, distant ones coexist, so
+        // the probe stream hits accepts, rejects and borderline fallbacks.
+        // The grid fits inside one cutoff disc, so pruning is forced.
+        let d = GridDeployment::new(8, 8, 170.0).build();
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let mut pruned = SlotLedger::pruned(&env);
+        let mut exact = SlotLedger::exact(&env);
+        assert!(pruned.is_pruned());
+        assert!(!exact.is_pruned());
+        assert!(
+            !env.open_slot_ledger().is_pruned(),
+            "an instance narrower than the cutoff should skip the index"
+        );
+        for row in 0..8u32 {
+            for col in 0..7u32 {
+                let candidate = link(row * 8 + col, row * 8 + col + 1);
+                let verdict = pruned.can_add(candidate);
+                assert_eq!(
+                    verdict,
+                    exact.can_add(candidate),
+                    "pruned/exact divergence on {candidate}"
+                );
+                if verdict {
+                    pruned.assign(candidate);
+                    exact.assign(candidate);
+                }
+            }
+        }
+        assert!(!pruned.is_empty(), "scenario admitted no links at all");
+        // Assign stays exact in both, so the cached state — and hence the
+        // margins — are bitwise identical, not merely close.
+        assert_eq!(pruned.links(), exact.links());
+        assert_eq!(pruned.margins(), exact.margins());
+        assert_eq!(pruned.slot_feasible(), exact.slot_feasible());
+        // The clear lifecycle preserves the equivalence.
+        pruned.clear();
+        exact.clear();
+        for candidate in [link(0, 1), link(18, 19), link(1, 2), link(63, 62)] {
+            assert_eq!(pruned.can_add(candidate), exact.can_add(candidate));
+            pruned.assign(candidate);
+            exact.assign(candidate);
+        }
+        assert_eq!(pruned.margins(), exact.margins());
+    }
+
+    #[test]
+    fn contains_screens_idle_endpoints_without_changing_answers() {
+        let env = line_env(8, 200.0);
+        let mut ledger = env.open_slot_ledger();
+        ledger.assign(link(0, 1));
+        ledger.assign(link(4, 5));
+        assert!(ledger.contains(link(0, 1)));
+        assert!(!ledger.contains(link(1, 0)), "orientation matters");
+        assert!(
+            !ledger.contains(link(6, 7)),
+            "idle endpoints screen to false"
+        );
+        assert!(
+            !ledger.contains(link(0, 4)),
+            "busy endpoints of different links still answer false"
+        );
+        let mut set = ChannelSlotLedger::new(&env, 2);
+        set.assign(ChannelId::new(1), link(0, 1));
+        assert!(set.contains_link(link(0, 1)));
+        assert!(!set.contains_link(link(0, 2)));
+        assert!(!set.contains_link(link(6, 7)));
+    }
+
+    #[test]
     fn grid_ledger_agrees_with_from_scratch_over_many_probes() {
         let d = GridDeployment::new(6, 6, 170.0).build();
         let env = RadioEnvironment::builder()
@@ -1135,7 +1604,8 @@ mod tests {
             .build(&d);
         // Horizontal links on alternating rows, added one by one; every probe
         // must agree with the from-scratch computation on the same list.
-        let mut ledger = env.open_slot_ledger();
+        // Pruning forced: the grid is narrower than the cutoff disc.
+        let mut ledger = SlotLedger::pruned(&env);
         let mut assigned: Vec<Link> = Vec::new();
         for row in 0..6u32 {
             for col in (0..5u32).step_by(3) {

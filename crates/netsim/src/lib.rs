@@ -46,16 +46,18 @@ pub mod error;
 pub mod ledger;
 pub mod propagation;
 pub mod radio;
+pub mod spatial;
 pub mod timing;
 pub mod units;
 
 pub use clock::{ClockModel, ClockSkewConfig};
 pub use des::{EventQueue, ScheduledEvent};
-pub use environment::{RadioEnvironment, RadioEnvironmentBuilder};
+pub use environment::{FarField, RadioEnvironment, RadioEnvironmentBuilder};
 pub use error::NetsimError;
 pub use ledger::{ChannelLedgerProbe, ChannelSlotLedger, LedgerProbe, LinkSinrMargin, SlotLedger};
-pub use propagation::{PropagationModel, ShadowingField};
+pub use propagation::{GainProfile, PropagationModel, ShadowingField};
 pub use radio::{ChannelId, RadioConfig};
+pub use spatial::{EndpointBuckets, GridGeometry, SpatialGrid};
 pub use timing::{ProtocolTiming, SlotTiming};
 pub use units::{DataRate, SimTime};
 
@@ -63,13 +65,14 @@ pub use units::{DataRate, SimTime};
 pub mod prelude {
     pub use crate::clock::{ClockModel, ClockSkewConfig};
     pub use crate::des::{EventQueue, ScheduledEvent};
-    pub use crate::environment::{RadioEnvironment, RadioEnvironmentBuilder};
+    pub use crate::environment::{FarField, RadioEnvironment, RadioEnvironmentBuilder};
     pub use crate::error::NetsimError;
     pub use crate::ledger::{
         ChannelLedgerProbe, ChannelSlotLedger, LedgerProbe, LinkSinrMargin, SlotLedger,
     };
-    pub use crate::propagation::{PropagationModel, ShadowingField};
+    pub use crate::propagation::{GainProfile, PropagationModel, ShadowingField};
     pub use crate::radio::{ChannelId, RadioConfig};
+    pub use crate::spatial::{EndpointBuckets, GridGeometry, SpatialGrid};
     pub use crate::timing::{ProtocolTiming, SlotTiming};
     pub use crate::units::{DataRate, SimTime};
 }

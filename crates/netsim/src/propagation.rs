@@ -109,6 +109,95 @@ impl PropagationModel {
         self.reference_distance_m
             * 10f64.powf((loss_db - self.reference_loss_db) / (10.0 * self.exponent))
     }
+
+    /// Precomputes a [`GainProfile`] evaluating this model's linear gain
+    /// directly from *squared* distances — the form hot paths have at hand
+    /// after a [`Point2::distance_squared`](scream_topology::Point2) — with
+    /// closed-form fast paths for the common integer exponents that avoid
+    /// the `log10`/`powf` round-trip of [`gain`](Self::gain).
+    pub fn gain_profile(&self) -> GainProfile {
+        GainProfile::from_model(self)
+    }
+}
+
+/// A precomputed evaluator of a [`PropagationModel`]'s linear gain as a
+/// function of squared distance.
+///
+/// For a log-distance model, `gain(d) = g₀ · (d/d₀)^{-α}` beyond the
+/// reference distance `d₀`; folding `g₀ · d₀^α` into one scale factor gives
+/// `gain = scale · d^{-α} = scale · (d²)^{-α/2}`, which for `α ∈ {2, 3, 4}`
+/// needs only multiplications (and one `sqrt` for `α = 3`) per evaluation.
+/// This is what lets a streamed (matrix-free) [`RadioEnvironment`]
+/// (crate::environment) recompute gains on the fly at millions of pairs per
+/// second.
+///
+/// Values agree with [`PropagationModel::gain`] up to floating-point
+/// rearrangement (≲ 1 ulp relative); a streamed environment uses *only* this
+/// evaluator, so its feasibility verdicts are internally consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GainProfile {
+    /// Gain at or below the reference distance.
+    ref_gain: f64,
+    /// Squared reference distance, in m².
+    ref_distance_sq_m2: f64,
+    /// `g₀ · d₀^α`: gain is `scale · d^{-α}` beyond the reference distance.
+    scale: f64,
+    /// Exponent dispatch: `α/2`, with fast paths for `α ∈ {2, 3, 4}`.
+    kind: GainKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum GainKind {
+    /// `α = 2`: `scale / d²`.
+    FreeSpace,
+    /// `α = 3`: `scale / (d² · √d²)`.
+    Cubic,
+    /// `α = 4`: `scale / (d²)²`.
+    Quartic,
+    /// Any other exponent: `scale · (d²)^{-α/2}`.
+    General {
+        /// Half the path-loss exponent.
+        half_exponent: f64,
+    },
+}
+
+impl GainProfile {
+    /// Builds the evaluator for `model`.
+    pub fn from_model(model: &PropagationModel) -> Self {
+        let ref_gain = 10f64.powf(-model.reference_loss_db / 10.0);
+        let d0 = model.reference_distance_m;
+        let kind = if model.exponent == 2.0 {
+            GainKind::FreeSpace
+        } else if model.exponent == 3.0 {
+            GainKind::Cubic
+        } else if model.exponent == 4.0 {
+            GainKind::Quartic
+        } else {
+            GainKind::General {
+                half_exponent: model.exponent / 2.0,
+            }
+        };
+        Self {
+            ref_gain,
+            ref_distance_sq_m2: d0 * d0,
+            scale: ref_gain * d0.powf(model.exponent),
+            kind,
+        }
+    }
+
+    /// Linear gain at squared distance `d2` (m²). Always in `(0, 1]`.
+    #[inline]
+    pub fn gain_from_distance_squared(&self, d2: f64) -> f64 {
+        if d2 <= self.ref_distance_sq_m2 {
+            return self.ref_gain;
+        }
+        match self.kind {
+            GainKind::FreeSpace => self.scale / d2,
+            GainKind::Cubic => self.scale / (d2 * d2.sqrt()),
+            GainKind::Quartic => self.scale / (d2 * d2),
+            GainKind::General { half_exponent } => self.scale * d2.powf(-half_exponent),
+        }
+    }
 }
 
 impl Default for PropagationModel {
@@ -272,6 +361,43 @@ mod tests {
         assert_eq!(m.path_loss_db(1.0), 30.0);
         let slope = m.path_loss_db(100.0) - m.path_loss_db(10.0);
         assert!((slope - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_profile_matches_gain_for_all_exponent_paths() {
+        // Covers every GainKind arm: 2 (free space), 3 (paper), 4 (quartic)
+        // and a non-integer general exponent, plus a shifted reference.
+        for exponent in [2.0, 3.0, 4.0, 2.7] {
+            let m = PropagationModel::log_distance(exponent);
+            let p = m.gain_profile();
+            for d in [0.5, 1.0, 1.5, 10.0, 123.0, 5000.0, 250_000.0] {
+                let exact = m.gain(d);
+                let fast = p.gain_from_distance_squared(d * d);
+                assert!(
+                    (fast - exact).abs() <= exact * 1e-12,
+                    "α={exponent}, d={d}: profile {fast} vs gain {exact}"
+                );
+            }
+        }
+        let shifted = PropagationModel::log_distance(3.0)
+            .with_reference_loss_db(30.0)
+            .with_reference_distance_m(2.0);
+        let p = shifted.gain_profile();
+        for d in [1.0, 2.0, 3.0, 400.0] {
+            let exact = shifted.gain(d);
+            assert!((p.gain_from_distance_squared(d * d) - exact).abs() <= exact * 1e-12);
+        }
+    }
+
+    #[test]
+    fn gain_profile_is_monotone_nonincreasing_in_distance() {
+        let p = PropagationModel::paper_default().gain_profile();
+        let mut previous = f64::INFINITY;
+        for d in [0.1, 1.0, 2.0, 10.0, 100.0, 1e4, 1e6] {
+            let g = p.gain_from_distance_squared(d * d);
+            assert!(g <= previous && g > 0.0);
+            previous = g;
+        }
     }
 
     #[test]

@@ -392,6 +392,53 @@ impl<M: SlotFeasibility> SlotFeasibility for FromScratch<M> {
     // multi-channel decisions, just the slow way).
 }
 
+/// Wrapper around a [`RadioEnvironment`] whose accumulators are built with
+/// spatial pruning **disabled** ([`SlotLedger::exact`] /
+/// `ChannelSlotLedger::exact`), while every other method forwards to the
+/// environment unchanged.
+///
+/// The pruned ledger is verdict-identical to the exact one by construction
+/// (every screen carries a conservative margin and ambiguity falls back to
+/// the exact code path), so `ExactPhysical(&env)` and `&env` must produce
+/// byte-identical schedules. This wrapper exists so that claim is testable
+/// (the `pruned_ledger_matches_exact_*` property tests) and measurable (the
+/// large-scale probe benchmark reports pruned-vs-exact speedup).
+///
+/// Contrast with [`FromScratch`], which bypasses the incremental accumulator
+/// entirely; `ExactPhysical` keeps the O(k) incremental ledger and only
+/// disables the spatial index on top of it.
+pub struct ExactPhysical<'a>(pub &'a RadioEnvironment);
+
+impl SlotFeasibility for ExactPhysical<'_> {
+    fn slot_feasible(&self, links: &[Link]) -> bool {
+        RadioEnvironment::slot_feasible(self.0, links)
+    }
+
+    fn can_add(&self, existing: &[Link], candidate: Link) -> bool {
+        self.0.can_add_to_slot(existing, candidate)
+    }
+
+    fn open_slot(&self) -> Box<dyn SlotAccumulator + '_> {
+        Box::new(LedgerAccumulator {
+            ledger: SlotLedger::exact(self.0),
+        })
+    }
+
+    fn slot_margins(&self, links: &[Link]) -> Vec<LinkSinrMargin> {
+        SlotFeasibility::slot_margins(self.0, links)
+    }
+
+    fn channel_count(&self) -> usize {
+        RadioEnvironment::channel_count(self.0)
+    }
+
+    fn open_channel_slot(&self) -> Box<dyn ChannelSlotAccumulator + '_> {
+        Box::new(ChannelLedgerAccumulator {
+            ledger: ChannelSlotLedger::exact(self.0, RadioEnvironment::channel_count(self.0)),
+        })
+    }
+}
+
 /// The protocol interference model: a communication from `u` to `v` succeeds
 /// iff no node within `interference_range_hops` hops of either endpoint (in
 /// the communication graph) is simultaneously active.
@@ -644,6 +691,62 @@ mod tests {
 
         let m = ProtocolModel::new(line_graph(8), 1);
         assert!(m.slot_margins(&slot).is_empty());
+    }
+
+    #[test]
+    fn exact_physical_agrees_with_pruned_environment() {
+        let d = GridDeployment::new(6, 6, 180.0).build();
+        let env = scream_netsim::RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&d);
+        let exact = ExactPhysical(&env);
+        assert_eq!(
+            SlotFeasibility::channel_count(&exact),
+            SlotFeasibility::channel_count(&env)
+        );
+
+        let mut pruned_acc = SlotFeasibility::open_slot(&env);
+        let mut exact_acc = SlotFeasibility::open_slot(&exact);
+        // Row-adjacent links across the grid; some conflict, some do not.
+        let candidates: Vec<Link> = (0..36u32)
+            .filter(|n| n % 6 != 5)
+            .map(|n| link(n, n + 1))
+            .collect();
+        for &candidate in &candidates {
+            let pruned_verdict = pruned_acc.can_add(candidate);
+            assert_eq!(
+                pruned_verdict,
+                exact_acc.can_add(candidate),
+                "pruned and exact accumulators diverge on {candidate}"
+            );
+            if pruned_verdict {
+                pruned_acc.assign(candidate);
+                exact_acc.assign(candidate);
+            }
+        }
+        assert_eq!(pruned_acc.links(), exact_acc.links());
+        assert_eq!(
+            SlotFeasibility::slot_margins(&exact, pruned_acc.links()),
+            SlotFeasibility::slot_margins(&env, pruned_acc.links())
+        );
+
+        // The multi-channel accumulators agree too.
+        let mut pruned_ch = SlotFeasibility::open_channel_slot(&env);
+        let mut exact_ch = SlotFeasibility::open_channel_slot(&exact);
+        let c0 = ChannelId::new(0);
+        for &candidate in &candidates {
+            let verdict = pruned_ch.can_add(c0, candidate);
+            assert_eq!(
+                verdict,
+                exact_ch.can_add(c0, candidate),
+                "channel accumulators diverge on {candidate}"
+            );
+            if verdict {
+                pruned_ch.assign(c0, candidate);
+                exact_ch.assign(c0, candidate);
+            }
+        }
+        assert_eq!(pruned_ch.links(c0), exact_ch.links(c0));
     }
 
     #[test]

@@ -87,19 +87,21 @@ impl FrameService {
         let mut by_link: HashMap<Link, usize> = HashMap::new();
         let mut links: Vec<(Link, LinkService)> = Vec::new();
         let mut start = 0u64;
+        let mut occurrences: HashMap<Link, u32> = HashMap::new();
         for (pattern, count) in schedule.runs() {
             let entries = pattern.links();
-            let mut i = 0;
-            while i < entries.len() {
-                let link = entries[i];
-                // Entries are sorted channel-major, so a link appearing on
-                // several channels is not necessarily contiguous; count every
-                // occurrence in the pattern.
-                if entries[..i].contains(&link) {
-                    i += 1;
+            // Entries are sorted channel-major, so a link appearing on
+            // several channels is not necessarily contiguous; count every
+            // occurrence in the pattern up front (removal below makes the
+            // main loop emit each link once, at its first occurrence).
+            occurrences.clear();
+            for &link in entries {
+                *occurrences.entry(link).or_insert(0) += 1;
+            }
+            for &link in entries {
+                let Some(capacity) = occurrences.remove(&link) else {
                     continue;
-                }
-                let capacity = entries.iter().filter(|&&l| l == link).count() as u32;
+                };
                 let idx = *by_link.entry(link).or_insert_with(|| {
                     links.push((link, LinkService::default()));
                     links.len() - 1
@@ -116,7 +118,6 @@ impl FrameService {
                         capacity,
                     }),
                 }
-                i += 1;
             }
             start += count;
         }

@@ -51,8 +51,8 @@ pub mod schedule;
 pub mod verify;
 
 pub use feasibility::{
-    ChannelId, ChannelSlotAccumulator, FromScratch, LinkSinrMargin, ProtocolModel, SlotAccumulator,
-    SlotFeasibility,
+    ChannelId, ChannelSlotAccumulator, ExactPhysical, FromScratch, LinkSinrMargin, ProtocolModel,
+    SlotAccumulator, SlotFeasibility,
 };
 pub use frame::{FrameService, NextService, ServiceWindow};
 pub use greedy::{EdgeOrdering, GreedyPhysical};
@@ -64,8 +64,8 @@ pub use verify::{verify_schedule, verify_slots_feasible, ScheduleViolation};
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use crate::feasibility::{
-        ChannelId, ChannelSlotAccumulator, FromScratch, LinkSinrMargin, ProtocolModel,
-        SlotAccumulator, SlotFeasibility,
+        ChannelId, ChannelSlotAccumulator, ExactPhysical, FromScratch, LinkSinrMargin,
+        ProtocolModel, SlotAccumulator, SlotFeasibility,
     };
     pub use crate::frame::{FrameService, NextService, ServiceWindow};
     pub use crate::greedy::{EdgeOrdering, GreedyPhysical};

@@ -139,6 +139,16 @@ impl Deployment {
         (0..self.len() as u32).map(NodeId::new)
     }
 
+    /// Node positions as struct-of-arrays flat buffers `(xs, ys)`, indexed
+    /// by node id. Large-scale consumers (the radio environment, spatial
+    /// grids) work on contiguous coordinate buffers rather than walking
+    /// `NodeInfo` records.
+    pub fn position_buffers(&self) -> (Vec<f64>, Vec<f64>) {
+        let xs = self.nodes.iter().map(|n| n.position.x).collect();
+        let ys = self.nodes.iter().map(|n| n.position.y).collect();
+        (xs, ys)
+    }
+
     /// Ids of the nodes currently flagged as gateways.
     pub fn gateways(&self) -> Vec<NodeId> {
         self.nodes

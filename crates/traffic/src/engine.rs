@@ -29,7 +29,7 @@
 //! and no wall-clock value enters the simulation, so the same inputs
 //! reproduce the same [`TrafficReport`] byte for byte.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use scream_netsim::{EventQueue, SimTime};
 use scream_scheduling::{FrameService, Schedule};
@@ -188,17 +188,27 @@ impl TrafficEngine {
     /// The per-link offered load vs. service share, and the resulting
     /// analytic stability verdict — computable without simulating.
     pub fn link_loads(&self) -> (Vec<LinkLoad>, StabilityVerdict) {
+        // One pass over the flows with a hash index: a flow contributes its
+        // rate once per *distinct* link on its route, and links keep
+        // first-appearance order — the same loads `offered_on` per link
+        // would produce, at O(total hops) instead of O(links²).
+        let mut index: HashMap<Link, usize> = HashMap::new();
         let mut loads: Vec<LinkLoad> = Vec::new();
         for flow in self.flows.flows() {
-            for &link in &flow.route {
-                if loads.iter().any(|l| l.link == link) {
+            let rate = flow.arrival.mean_rate();
+            for (hop, &link) in flow.route.iter().enumerate() {
+                if flow.route[..hop].contains(&link) {
                     continue;
                 }
-                loads.push(LinkLoad {
-                    link,
-                    offered_per_slot: self.flows.offered_on(link),
-                    service_share: self.frame.service_share(link),
+                let i = *index.entry(link).or_insert_with(|| {
+                    loads.push(LinkLoad {
+                        link,
+                        offered_per_slot: 0.0,
+                        service_share: self.frame.service_share(link),
+                    });
+                    loads.len() - 1
                 });
+                loads[i].offered_per_slot += rate;
             }
         }
         let bottlenecks: Vec<LinkLoad> = loads.iter().filter(|l| !l.is_stable()).copied().collect();
@@ -240,17 +250,17 @@ impl<'a> Simulation<'a> {
         let slot_ns = engine.config.slot_duration.as_nanos();
         let horizon_slots = engine.config.horizon_frames * engine.frame.frame_slots();
         let mut links: Vec<Link> = Vec::new();
+        let mut link_index: HashMap<Link, u32> = HashMap::new();
         let mut hop_links = Vec::with_capacity(engine.flows.len());
         for flow in engine.flows.flows() {
             let hops = flow
                 .route
                 .iter()
-                .map(|&link| match links.iter().position(|&l| l == link) {
-                    Some(i) => i as u32,
-                    None => {
+                .map(|&link| {
+                    *link_index.entry(link).or_insert_with(|| {
                         links.push(link);
                         (links.len() - 1) as u32
-                    }
+                    })
                 })
                 .collect();
             hop_links.push(hops);

@@ -567,4 +567,94 @@ proptest! {
             assigned.iter().all(|&l| env.handshake_ok(l, &assigned))
         );
     }
+
+    /// The spatially-pruned ledger is decision-for-decision identical to the
+    /// exact ledger — `can_add` verdicts, accumulated links, margins, probes
+    /// and slot feasibility — on random instances across β, shadowing and
+    /// channel counts. Pruning is forced (the instances are smaller than the
+    /// far-field cutoff disc, where the default constructor would skip the
+    /// index), so every conservative screen is exercised against its exact
+    /// fallback.
+    #[test]
+    fn pruned_ledger_matches_exact_ledger(
+        (nodes, seed) in (8usize..=24, 0u64..5000),
+        sigma_db in 0.0f64..8.0,
+        beta_db in 4.0f64..12.0,
+        channel_count in 1usize..=3,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9d2e);
+        let side = 150.0 * (nodes as f64).sqrt();
+        let deployment = UniformDeployment::new(nodes, side).build(&mut rng);
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .shadowing(sigma_db, seed)
+            .config(
+                scream::netsim::RadioConfig::mesh_default()
+                    .with_sinr_threshold_db(beta_db)
+                    .with_channel_count(channel_count),
+            )
+            .build(&deployment);
+        let draw_link = |rng: &mut ChaCha8Rng| {
+            let head = rng.gen_range(0..nodes as u32);
+            let tail = (head + 1 + rng.gen_range(0..nodes as u32 - 1)) % nodes as u32;
+            Link::new(NodeId::new(head), NodeId::new(tail))
+        };
+
+        let mut pruned = SlotLedger::pruned(&env);
+        let mut exact = SlotLedger::exact(&env);
+        prop_assert!(pruned.is_pruned());
+        for _ in 0..24 {
+            let candidate = draw_link(&mut rng);
+            let verdict = pruned.can_add(candidate);
+            prop_assert_eq!(
+                verdict,
+                exact.can_add(candidate),
+                "can_add diverged for {} with beta {} dB, sigma {} dB",
+                candidate,
+                beta_db,
+                sigma_db
+            );
+            if verdict {
+                pruned.assign(candidate);
+                exact.assign(candidate);
+            }
+        }
+        // Assign stays exact in both, so the accumulated state is bitwise
+        // identical — margins, probes and feasibility included.
+        prop_assert_eq!(pruned.links(), exact.links());
+        prop_assert_eq!(pruned.margins(), exact.margins());
+        prop_assert_eq!(pruned.slot_feasible(), exact.slot_feasible());
+        let tentative: Vec<Link> = (0..3).map(|_| draw_link(&mut rng)).collect();
+        prop_assert_eq!(pruned.probe(&tentative), exact.probe(&tentative));
+
+        // The channel-set wrapper inherits the equivalence on every channel.
+        let mut pruned_set = ChannelSlotLedger::pruned(&env, channel_count);
+        let mut exact_set = ChannelSlotLedger::exact(&env, channel_count);
+        for i in 0..24 {
+            let candidate = draw_link(&mut rng);
+            let channel = ChannelId::new((i % channel_count) as u16);
+            let verdict = pruned_set.can_add(channel, candidate);
+            prop_assert_eq!(verdict, exact_set.can_add(channel, candidate));
+            if verdict {
+                pruned_set.assign(channel, candidate);
+                exact_set.assign(channel, candidate);
+            }
+        }
+        let claims: Vec<Link> = (0..3).map(|_| draw_link(&mut rng)).collect();
+        prop_assert_eq!(pruned_set.probe_claims(&claims), exact_set.probe_claims(&claims));
+    }
+
+    /// Greedy schedules are byte-identical whether feasibility runs through
+    /// the default (spatially pruned) environment accumulators or through
+    /// [`ExactPhysical`]'s pruning-disabled ledgers — the schedule-level
+    /// guarantee behind the committed pruned-vs-exact scale benchmark.
+    #[test]
+    fn greedy_schedules_do_not_depend_on_pruning((nodes, seed) in small_instance()) {
+        if let Some((env, link_demands)) = build_connected(nodes, seed) {
+            let pruned = GreedyPhysical::paper_baseline().schedule(&env, &link_demands);
+            let exact = GreedyPhysical::paper_baseline()
+                .schedule(&ExactPhysical(&env), &link_demands);
+            prop_assert_eq!(pruned, exact);
+        }
+    }
 }
