@@ -6,6 +6,14 @@
 //! the 64-link heavy-demand frame — to `BENCH_schedule.json`, so the perf
 //! trajectory is tracked across PRs.
 //!
+//! The **resilience** section times the incremental `repair_schedule` patch
+//! after a single-link failure on the 10⁵-link large-scale frame against the
+//! full rebuild (the `repair_over_rebuild` ratio) and runs the
+//! fault-injection acceptance scenario — a busiest-uplink failure on the
+//! 64-node paper grid at load 0.8 — recording `recovery_time_slots`, the
+//! post-recovery and baseline-outage delivery percentages and the
+//! peak-backlog disruption cost.
+//!
 //! The **scale** section schedules and fully verifies a 10⁵-link
 //! `large_scale` instance (streamed gains, spatially pruned ledger), records
 //! `scale_schedule_links_per_sec`, measures the pruned-vs-exact ledger probe
@@ -25,11 +33,14 @@ use std::time::Instant;
 
 use scream_bench::{
     heavy_demand_instance, heavy_demand_instance_on_channels, LargeScaleScenario, PaperScenario,
+    RecoveryExperiment,
 };
 use scream_core::{DistributedScheduler, ProtocolConfig};
 use scream_netsim::SlotLedger;
-use scream_scheduling::{verify_schedule, FromScratch, GreedyPhysical};
-use scream_topology::Link;
+use scream_scheduling::{
+    repair_schedule, verify_schedule, FromScratch, GreedyPhysical, RepairOutcome,
+};
+use scream_topology::{Link, LinkDemands};
 use scream_traffic::{ArrivalProcess, FlowSet, TrafficConfig, TrafficEngine};
 
 /// One measured operation: a name, its median wall-clock time, and how many
@@ -314,6 +325,43 @@ fn main() {
     });
     let scale_schedule_links_per_sec = scale_links as f64 / scale_schedule_secs.max(1e-12);
 
+    // Incremental frame repair at scale: fail one of the 10⁵ links and shift
+    // its demand onto a surviving link, then patch the run-length schedule
+    // with `repair_schedule` (strip + deficit placement + probe
+    // verification). Against a full GreedyPhysical rebuild — which is what
+    // `scale_schedule_100k` measures on a same-size target — the patch skips
+    // the per-link first-fit placement entirely, the asymptotic win that
+    // makes mid-run rescheduling viable at scale.
+    let scale_repair_target = {
+        let links: Vec<(Link, u64)> = scale_demands.demanded_links().collect();
+        let (&(dead_link, dead_demand), surviving) =
+            links.split_first().expect("the scale instance has links");
+        let mut target = surviving.to_vec();
+        target.last_mut().expect("surviving links remain").1 += dead_demand;
+        eprintln!("# timing incremental repair at scale (link {dead_link} fails)...");
+        let (scale_columns, scale_rows) =
+            LargeScaleScenario::with_target_links(scale_links).grid_dimensions();
+        LinkDemands::from_links(scale_columns * scale_rows, &target)
+            .expect("the surviving links are distinct and in range")
+    };
+    let start = Instant::now();
+    let scale_repaired = std::hint::black_box(repair_schedule(
+        &scale_env,
+        &scale_schedule,
+        &scale_repair_target,
+    ));
+    let scale_repair_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        scale_repaired.outcome,
+        RepairOutcome::Incremental,
+        "the single-link repair must take the probe-verified incremental path"
+    );
+    measurements.push(Measurement {
+        name: "repair_incremental_100k",
+        median_secs: scale_repair_secs,
+        reps: 1,
+    });
+
     // Probe benchmark: build one mid-fill slot — a planned reuse lattice
     // (every 3rd column pair × every 6th row ≈ 1.5 km spacing, thousands of
     // links, every one admitted by `can_add` with healthy SINR slack) — then
@@ -408,12 +456,64 @@ fn main() {
     let scale_traffic_packets_per_sec =
         scale_traffic_report.delivered as f64 / scale_traffic_secs.max(1e-12);
 
+    // Online recovery on the paper 64-node grid at load 0.8 — the acceptance
+    // scenario: a seeded busiest-uplink failure at a quarter of the horizon.
+    // The no-repair baseline goes Overloaded and strands packets for the rest
+    // of the run; the rescheduler reroutes around the dead link, patches the
+    // frame and must restore a Stable verdict with >= 99% sustained delivery.
+    let recovery_frames: u64 = if quick { 20 } else { 40 };
+    eprintln!(
+        "# running fault-injection recovery (64-node paper grid, load 0.8, \
+         {recovery_frames} frame repetitions)..."
+    );
+    let recovery_instance = PaperScenario::grid(2_000.0).instantiate(7);
+    let recovery_experiment = RecoveryExperiment::from_instance(&recovery_instance);
+    let start = Instant::now();
+    let recovery =
+        std::hint::black_box(recovery_experiment.single_link_outage(0.8, recovery_frames));
+    let recovery_secs = start.elapsed().as_secs_f64();
+    measurements.push(Measurement {
+        name: "recovery_single_link_64",
+        median_secs: recovery_secs,
+        reps: 1,
+    });
+    assert!(
+        !recovery.baseline_stable,
+        "the no-repair baseline must stay Overloaded after the failure"
+    );
+    assert!(
+        recovery.stable,
+        "the rescheduler must end the run with a Stable verdict"
+    );
+    assert!(
+        recovery.post_recovery_delivery_pct >= 99.0,
+        "sustained post-recovery delivery must reach 99%: {:.2}%",
+        recovery.post_recovery_delivery_pct
+    );
+    let recovery_time_slots = recovery
+        .time_to_recover_slots
+        .expect("the repair arm must recover within the horizon")
+        as f64;
+
     let throughputs = [
         ("traffic_packets_per_sec", traffic_packets_per_sec),
         ("scale_schedule_links_per_sec", scale_schedule_links_per_sec),
         (
             "scale_traffic_packets_per_sec",
             scale_traffic_packets_per_sec,
+        ),
+        ("recovery_time_slots", recovery_time_slots),
+        (
+            "recovery_post_delivery_pct",
+            recovery.post_recovery_delivery_pct,
+        ),
+        (
+            "baseline_outage_delivery_pct",
+            recovery.baseline_outage_delivery_pct,
+        ),
+        (
+            "recovery_peak_backlog",
+            recovery.disruption_peak_backlog as f64,
         ),
     ];
 
@@ -423,6 +523,10 @@ fn main() {
         (
             "scale_pruned_over_exact_probe",
             probe_exact / probe_pruned.max(1e-12),
+        ),
+        (
+            "repair_over_rebuild",
+            scale_schedule_secs / scale_repair_secs.max(1e-12),
         ),
     ];
     ratios.extend(channel_ratios);

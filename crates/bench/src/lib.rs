@@ -15,16 +15,19 @@
 //! | Fig. 8 (execution time vs size/diameter) | [`figures::fig8_execution_time`] | `fig8_exec_time` |
 //! | Fig. 9 (execution time vs clock skew) | [`figures::fig9_clock_skew`] | `fig9_clock_skew` |
 //! | Delay vs. load (traffic engine, beyond the paper) | [`figures::delay_vs_load`] | `delay_vs_load` |
+//! | Recovery vs. load (fault injection, beyond the paper) | [`recovery::recovery_vs_load`] | `recovery_vs_load` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod figures;
+pub mod recovery;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
 
+pub use recovery::{recovery_vs_load, RecoveryExperiment, RecoveryPoint, RecoveryReport};
 pub use report::Table;
 pub use scenario::{
     heavy_demand_instance, heavy_demand_instance_on_channels, LargeScaleScenario, PaperScenario,

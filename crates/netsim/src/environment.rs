@@ -118,6 +118,50 @@ impl RadioEnvironment {
         self.shadowing_sigma_db
     }
 
+    /// A copy of this environment with the shadowing field redrawn at
+    /// `sigma_db` from `seed` — the fault-injection hook for time-varying
+    /// fades. Positions, transmit powers, the propagation model and the
+    /// radio configuration are unchanged; only the per-pair gains (and the
+    /// conservative `max_shadow_db` pruning bound derived from them) are
+    /// regenerated, exactly as [`RadioEnvironmentBuilder::build`] would have
+    /// with this shadowing draw. Deterministic: the same `(sigma_db, seed)`
+    /// always produces the same environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on streamed-gain environments — streaming recomputes gains on
+    /// demand from positions alone and cannot carry an O(n²) shadowing field.
+    pub fn refaded(&self, sigma_db: f64, seed: u64) -> RadioEnvironment {
+        assert!(
+            !self.is_streamed(),
+            "refading requires dense gains; streamed environments carry no shadowing field"
+        );
+        let n = self.node_count;
+        let shadowing = ShadowingField::generate(n, sigma_db, seed);
+        let mut gains = vec![1.0; n * n];
+        let mut max_shadow_db = 0.0f64;
+        for i in 0..n {
+            let pi = Point2::new(self.xs[i], self.ys[i]);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pj = Point2::new(self.xs[j], self.ys[j]);
+                let dist = pi.distance(pj);
+                let shadow_db = shadowing.shadow_db(i, j);
+                max_shadow_db = max_shadow_db.max(-shadow_db);
+                let loss_db = self.propagation.path_loss_db(dist) + shadow_db;
+                gains[i * n + j] = dbm_to_mw(-loss_db);
+            }
+        }
+        RadioEnvironment {
+            gains,
+            max_shadow_db,
+            shadowing_sigma_db: sigma_db,
+            ..self.clone()
+        }
+    }
+
     /// Transmit power of `node` in milliwatts.
     pub fn tx_power_mw(&self, node: NodeId) -> f64 {
         self.tx_power_mw[node.index()]
@@ -636,6 +680,38 @@ mod tests {
         RadioEnvironment::builder()
             .propagation(PropagationModel::log_distance(3.0))
             .build(deployment)
+    }
+
+    #[test]
+    fn refading_is_deterministic_and_perturbs_only_the_gains() {
+        let d = line_deployment(150.0, 6);
+        let base = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .shadowing(4.0, 7)
+            .build(&d);
+        let faded = base.refaded(4.0, 8);
+        let faded_again = base.refaded(4.0, 8);
+        assert_eq!(faded, faded_again, "same (sigma, seed) must reproduce");
+        assert_ne!(faded, base, "a fresh seed redraws the field");
+        assert_eq!(faded.positions(), base.positions());
+        assert_eq!(faded.config(), base.config());
+        // Redrawing with the builder's own draw reproduces build() exactly.
+        let rebuilt = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .shadowing(4.0, 7)
+            .build(&d);
+        assert_eq!(base.refaded(4.0, 7), rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "streamed")]
+    fn refading_a_streamed_environment_panics() {
+        let d = line_deployment(150.0, 4);
+        let streamed = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .streamed_gains()
+            .build(&d);
+        let _ = streamed.refaded(2.0, 1);
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Deterministic fault plans: what breaks, when, and when it comes back.
+//!
+//! A [`ChurnTrace`] is a slot-ordered list of [`FaultEvent`]s — link and
+//! node outages with their repairs, shadowing re-fades, and flow
+//! stop/start churn. Traces are built either explicitly through
+//! [`FaultPlan`] or drawn from a seeded distribution with
+//! [`FaultPlan::random_churn`]; in both cases the result is a plain sorted
+//! value type, so the same inputs always produce byte-identical traces
+//! (pinned by the determinism property test in the workspace test suite).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use scream_topology::{Link, NodeId};
+
+/// One kind of injected fault (or repair).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FaultKind {
+    /// The (undirected) link stops carrying traffic in either direction.
+    LinkDown(Link),
+    /// A previously failed link returns to service.
+    LinkUp(Link),
+    /// The node dies: every link touching it goes down and its flow stops.
+    NodeDown(NodeId),
+    /// A previously failed node returns, together with its surviving links.
+    NodeUp(NodeId),
+    /// The shadowing field is redrawn: a time-varying fade that changes
+    /// every link gain (and therefore the communication graph and SINR
+    /// feasibility) at once.
+    Fade {
+        /// Log-normal shadowing deviation of the redrawn field, in dB.
+        sigma_db: f64,
+        /// Seed of the redrawn field.
+        seed: u64,
+    },
+    /// The node's flow departs (stops injecting packets).
+    FlowStop(NodeId),
+    /// The node's flow arrives (starts, or resumes, injecting packets).
+    FlowStart(NodeId),
+}
+
+/// A fault at a scheduled slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultEvent {
+    /// The absolute slot at which the fault takes effect.
+    pub slot: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A slot-ordered sequence of fault events.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct ChurnTrace {
+    events: Vec<FaultEvent>,
+}
+
+impl ChurnTrace {
+    /// Builds a trace from events, sorting them by slot. Events at the same
+    /// slot keep their given order (a `LinkDown` listed before a `LinkUp`
+    /// at the same slot loses the race, deterministically).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.slot);
+        Self { events }
+    }
+
+    /// The events, slot-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The slot of the first fault, if any.
+    pub fn first_slot(&self) -> Option<u64> {
+        self.events.first().map(|e| e.slot)
+    }
+
+    /// The slot of the last fault, if any.
+    pub fn last_slot(&self) -> Option<u64> {
+        self.events.last().map(|e| e.slot)
+    }
+}
+
+/// Parameters of a random churn draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ChurnConfig {
+    /// The horizon the faults must fall inside.
+    pub horizon_slots: u64,
+    /// How many link outage/repair pairs to draw.
+    pub link_failures: usize,
+    /// How many node outage/repair pairs to draw.
+    pub node_failures: usize,
+    /// How many flow stop/start pairs to draw.
+    pub flow_churns: usize,
+    /// How many shadowing re-fades to draw.
+    pub fades: usize,
+    /// Mean outage duration (exponentially distributed), in slots.
+    pub mean_outage_slots: f64,
+    /// Shadowing deviation of drawn fades, in dB.
+    pub fade_sigma_db: f64,
+}
+
+impl ChurnConfig {
+    /// A single-link-failure baseline over the given horizon: one link
+    /// outage lasting (on average) a quarter of the horizon, nothing else.
+    pub fn single_link(horizon_slots: u64) -> Self {
+        Self {
+            horizon_slots,
+            link_failures: 1,
+            node_failures: 0,
+            flow_churns: 0,
+            fades: 0,
+            mean_outage_slots: horizon_slots as f64 / 4.0,
+            fade_sigma_db: 4.0,
+        }
+    }
+}
+
+/// Builder for fault plans: explicit events plus seeded random churn.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arbitrary event.
+    pub fn at(mut self, slot: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { slot, kind });
+        self
+    }
+
+    /// Fails `link` at `down_slot` and repairs it at `up_slot`.
+    pub fn link_outage(self, link: Link, down_slot: u64, up_slot: u64) -> Self {
+        self.at(down_slot, FaultKind::LinkDown(link))
+            .at(up_slot, FaultKind::LinkUp(link))
+    }
+
+    /// Fails `link` at `down_slot`, permanently.
+    pub fn link_down(self, link: Link, down_slot: u64) -> Self {
+        self.at(down_slot, FaultKind::LinkDown(link))
+    }
+
+    /// Kills `node` at `down_slot` and revives it at `up_slot`.
+    pub fn node_outage(self, node: NodeId, down_slot: u64, up_slot: u64) -> Self {
+        self.at(down_slot, FaultKind::NodeDown(node))
+            .at(up_slot, FaultKind::NodeUp(node))
+    }
+
+    /// Redraws the shadowing field at `slot`.
+    pub fn fade(self, slot: u64, sigma_db: f64, seed: u64) -> Self {
+        self.at(slot, FaultKind::Fade { sigma_db, seed })
+    }
+
+    /// Stops `node`'s flow at `stop_slot` and restarts it at `start_slot`.
+    pub fn flow_churn(self, node: NodeId, stop_slot: u64, start_slot: u64) -> Self {
+        self.at(stop_slot, FaultKind::FlowStop(node))
+            .at(start_slot, FaultKind::FlowStart(node))
+    }
+
+    /// Appends seeded random churn over the given candidate links and
+    /// nodes: outage starts are uniform in the middle 60% of the horizon
+    /// (so the run has a pre-fault baseline and a post-repair tail),
+    /// durations are exponential with the configured mean, and repairs
+    /// past the horizon are dropped (the outage becomes permanent). The
+    /// same `(config, candidates, seed)` triple always appends the same
+    /// events.
+    pub fn random_churn(
+        mut self,
+        config: ChurnConfig,
+        links: &[Link],
+        nodes: &[NodeId],
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let horizon = config.horizon_slots;
+        let window_start = horizon / 5;
+        let window_end = (horizon * 4) / 5;
+        let outage_window = |rng: &mut ChaCha8Rng| {
+            let down = rng.gen_range(window_start..window_end.max(window_start + 1));
+            let length = exponential(rng, config.mean_outage_slots).max(1.0) as u64;
+            (down, down.saturating_add(length))
+        };
+        for _ in 0..config.link_failures {
+            if links.is_empty() {
+                break;
+            }
+            let link = links[rng.gen_range(0..links.len())];
+            let (down, up) = outage_window(&mut rng);
+            self.events.push(FaultEvent {
+                slot: down,
+                kind: FaultKind::LinkDown(link),
+            });
+            if up < horizon {
+                self.events.push(FaultEvent {
+                    slot: up,
+                    kind: FaultKind::LinkUp(link),
+                });
+            }
+        }
+        for _ in 0..config.node_failures {
+            if nodes.is_empty() {
+                break;
+            }
+            let node = nodes[rng.gen_range(0..nodes.len())];
+            let (down, up) = outage_window(&mut rng);
+            self.events.push(FaultEvent {
+                slot: down,
+                kind: FaultKind::NodeDown(node),
+            });
+            if up < horizon {
+                self.events.push(FaultEvent {
+                    slot: up,
+                    kind: FaultKind::NodeUp(node),
+                });
+            }
+        }
+        for _ in 0..config.flow_churns {
+            if nodes.is_empty() {
+                break;
+            }
+            let node = nodes[rng.gen_range(0..nodes.len())];
+            let (stop, start) = outage_window(&mut rng);
+            self.events.push(FaultEvent {
+                slot: stop,
+                kind: FaultKind::FlowStop(node),
+            });
+            if start < horizon {
+                self.events.push(FaultEvent {
+                    slot: start,
+                    kind: FaultKind::FlowStart(node),
+                });
+            }
+        }
+        for _ in 0..config.fades {
+            let slot = rng.gen_range(window_start..window_end.max(window_start + 1));
+            let fade_seed = rng.gen_range(0..u64::MAX);
+            self.events.push(FaultEvent {
+                slot,
+                kind: FaultKind::Fade {
+                    sigma_db: config.fade_sigma_db,
+                    seed: fade_seed,
+                },
+            });
+        }
+        self
+    }
+
+    /// Finalizes the plan into a slot-ordered trace.
+    pub fn build(self) -> ChurnTrace {
+        ChurnTrace::new(self.events)
+    }
+}
+
+/// `Exp(mean)`-distributed draw in slots.
+fn exponential(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    #[test]
+    fn traces_sort_by_slot_and_keep_same_slot_order() {
+        let trace = FaultPlan::new()
+            .at(30, FaultKind::LinkUp(link(1, 0)))
+            .at(10, FaultKind::LinkDown(link(1, 0)))
+            .at(30, FaultKind::NodeDown(NodeId::new(2)))
+            .build();
+        assert_eq!(trace.first_slot(), Some(10));
+        assert_eq!(trace.last_slot(), Some(30));
+        assert_eq!(
+            trace.events()[1].kind,
+            FaultKind::LinkUp(link(1, 0)),
+            "stable sort keeps the listed order within a slot"
+        );
+    }
+
+    #[test]
+    fn random_churn_is_seed_deterministic_and_in_window() {
+        let links = [link(1, 0), link(2, 1), link(3, 2)];
+        let nodes = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        let config = ChurnConfig {
+            horizon_slots: 1000,
+            link_failures: 3,
+            node_failures: 2,
+            flow_churns: 2,
+            fades: 1,
+            mean_outage_slots: 100.0,
+            fade_sigma_db: 4.0,
+        };
+        let a = FaultPlan::new()
+            .random_churn(config, &links, &nodes, 7)
+            .build();
+        let b = FaultPlan::new()
+            .random_churn(config, &links, &nodes, 7)
+            .build();
+        let c = FaultPlan::new()
+            .random_churn(config, &links, &nodes, 8)
+            .build();
+        assert_eq!(a, b, "same seed, same trace");
+        assert_ne!(a, c, "different seeds diverge");
+        assert!(!a.is_empty());
+        for event in a.events() {
+            assert!(event.slot < 1000);
+            if let FaultKind::LinkDown(_) | FaultKind::NodeDown(_) | FaultKind::FlowStop(_) =
+                event.kind
+            {
+                assert!((200..800).contains(&event.slot), "outages start mid-run");
+            }
+        }
+    }
+
+    #[test]
+    fn repairs_past_the_horizon_become_permanent_outages() {
+        let links = [link(1, 0)];
+        let config = ChurnConfig {
+            horizon_slots: 100,
+            link_failures: 1,
+            node_failures: 0,
+            flow_churns: 0,
+            fades: 0,
+            // Mean outage far beyond the horizon: the repair is dropped.
+            mean_outage_slots: 1e9,
+            fade_sigma_db: 4.0,
+        };
+        let trace = FaultPlan::new()
+            .random_churn(config, &links, &[], 3)
+            .build();
+        assert_eq!(trace.events().len(), 1);
+        assert!(matches!(trace.events()[0].kind, FaultKind::LinkDown(_)));
+    }
+}

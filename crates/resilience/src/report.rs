@@ -1,0 +1,136 @@
+//! Graceful-degradation metrics: how much a fault cost and how fast the
+//! rescheduler recovered.
+
+use serde::Serialize;
+
+use scream_scheduling::RepairOutcome;
+use scream_traffic::SessionTotals;
+
+/// Traffic measurements of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EpochMetrics {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// First slot of the epoch (inclusive).
+    pub start_slot: u64,
+    /// One past the last slot of the epoch.
+    pub end_slot: u64,
+    /// Packets injected during the epoch.
+    pub injected: u64,
+    /// Packets delivered during the epoch.
+    pub delivered: u64,
+    /// Packets dropped during the epoch (lost routes, unrescuable strands).
+    pub dropped: u64,
+    /// In-flight packets when the epoch ended.
+    pub backlog_end: u64,
+    /// `100 · delivered / injected` for the epoch (100 when idle; above 100
+    /// while a backlog drains).
+    pub delivery_pct: f64,
+    /// Whether the analytic verdict at the epoch end was Stable.
+    pub stable: bool,
+}
+
+/// One rescheduling action taken by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RepairRecord {
+    /// The slot at which the repair was installed.
+    pub slot: u64,
+    /// Whether the compact schedule was patched incrementally or rebuilt
+    /// from scratch.
+    pub outcome: RepairOutcome,
+    /// Frame length before the repair.
+    pub frame_slots_before: u64,
+    /// Frame length after the repair.
+    pub frame_slots_after: u64,
+    /// Slot-allocation units removed by the incremental patch.
+    pub removed_allocation: u64,
+    /// Slot-allocation units added by the incremental patch.
+    pub added_allocation: u64,
+}
+
+/// The outcome of one [`ResilienceHarness`](crate::ResilienceHarness) run:
+/// per-epoch traffic, every repair taken, and the headline
+/// graceful-degradation numbers.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ResilienceReport {
+    /// Frame length of the initial (pre-fault) schedule.
+    pub frame_slots_initial: u64,
+    /// Simulated horizon in slots.
+    pub horizon_slots: u64,
+    /// Per-epoch traffic measurements, in order.
+    pub epochs: Vec<EpochMetrics>,
+    /// Every rescheduling action, in order.
+    pub repairs: Vec<RepairRecord>,
+    /// Cumulative session counters (injected / delivered / dropped /
+    /// rescued / in-flight / peak backlog).
+    pub totals: SessionTotals,
+    /// The slot of the first injected fault, if the trace was non-empty.
+    pub first_fault_slot: Option<u64>,
+    /// Slots from the first fault until sustained recovery: the first epoch
+    /// boundary after which every remaining epoch dropped nothing, kept a
+    /// Stable analytic verdict, and held its backlog inside the pre-fault
+    /// band (outage strands fully drained). `None` if the run never
+    /// recovered (or saw no fault).
+    pub time_to_recover_slots: Option<u64>,
+    /// Delivery percentage over the outage window (first fault to recovery,
+    /// or to the horizon when the run never recovered).
+    pub outage_delivery_pct: f64,
+    /// Delivery percentage over the epochs after recovery (100 if the run
+    /// ends at the recovery point).
+    pub post_recovery_delivery_pct: f64,
+    /// Peak in-flight backlog over the whole run — the disruption cost of
+    /// the outage plus any frame-swap churn.
+    pub disruption_peak_backlog: u64,
+    /// Flows the admission controller was holding paused at the horizon.
+    pub deferred_flows: usize,
+    /// Whether the analytic verdict at the horizon was Stable.
+    pub final_verdict_stable: bool,
+}
+
+impl ResilienceReport {
+    /// Overall delivery percentage across the whole run.
+    pub fn delivery_pct(&self) -> f64 {
+        if self.totals.injected == 0 {
+            100.0
+        } else {
+            self.totals.delivered as f64 / self.totals.injected as f64 * 100.0
+        }
+    }
+
+    /// How many repairs were applied incrementally (vs. full rebuilds).
+    pub fn incremental_repairs(&self) -> usize {
+        self.repairs
+            .iter()
+            .filter(|r| r.outcome == RepairOutcome::Incremental)
+            .count()
+    }
+}
+
+impl std::fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} epochs over {} slots: {:.1}% delivered overall, \
+             {:.1}% during outage, recovery {}, peak backlog {}, \
+             {} repair(s) ({} incremental), {} stranded rescued, {} dropped, {}",
+            self.epochs.len(),
+            self.horizon_slots,
+            self.delivery_pct(),
+            self.outage_delivery_pct,
+            match self.time_to_recover_slots {
+                Some(slots) => format!("in {slots} slots"),
+                None => "never".to_string(),
+            },
+            self.disruption_peak_backlog,
+            self.repairs.len(),
+            self.incremental_repairs(),
+            self.totals.rescued,
+            self.totals.dropped,
+            if self.final_verdict_stable {
+                "stable"
+            } else {
+                "OVERLOADED"
+            },
+        )
+    }
+}

@@ -1,0 +1,640 @@
+//! The epoch-driven recovery loop: inject a [`ChurnTrace`] into a running
+//! traffic session, reroute and repair around what broke, and measure how
+//! gracefully the network degraded.
+//!
+//! [`ResilienceHarness::run`] drives one experiment:
+//!
+//! 1. build the pre-fault world — routing forest, link demands, a
+//!    [`GreedyPhysical`] schedule of length `F₀`, and per-node sources
+//!    offering `ρ · demand(v) / F₀` packets per slot (so every link sits at
+//!    utilization ρ, exactly the paper's load model);
+//! 2. advance a [`TrafficSession`] epoch by epoch, pausing at every fault
+//!    slot;
+//! 3. at each fault, update the fault state and — when
+//!    [`ReschedulerConfig::repair`] is on — **reschedule**: prune the
+//!    communication graph of dead links and nodes, rebuild the routing
+//!    forest around them ([`RoutingForest::shortest_path_partial`]), zero
+//!    the demands of dead and cut-off nodes, patch the compact schedule
+//!    with [`repair_schedule`] (incremental run-level repair,
+//!    verify-or-rebuild), swap the repaired frame and new routes into the
+//!    live session, and [rescue](TrafficSession::rescue_stranded) the
+//!    packets stranded on dead or no-longer-served links;
+//! 4. after each repair, run **admission control**: while the analytic
+//!    verdict is Overloaded, defer (pause) the highest-rate source crossing
+//!    a bottleneck link — deferred sources are re-admitted at the next
+//!    reschedule if capacity has returned;
+//! 5. report per-epoch traffic, every repair taken, and the headline
+//!    graceful-degradation metrics ([`ResilienceReport`]).
+//!
+//! With `repair` off the harness is the **no-repair baseline**: faults
+//! still strand packets and kill service, but nothing reroutes — the
+//! degradation the rescheduler is supposed to prevent.
+//!
+//! Shadowing fades ([`FaultKind::Fade`]) redraw the radio environment's
+//! shadowing field. The packet engine does not model SINR loss, so a fade
+//! acts through the *scheduling* path: the next repair is probed and
+//! verified against the faded environment, falling back to a full rebuild
+//! when the old slot groupings are no longer feasible.
+
+use std::collections::{BTreeSet, HashSet};
+
+use scream_netsim::RadioEnvironment;
+use scream_scheduling::{repair_schedule, FrameService, GreedyPhysical, Schedule};
+use scream_topology::{
+    DemandVector, Graph, Link, LinkDemands, NodeId, RoutingForest, TopologyError,
+};
+use scream_traffic::{
+    ArrivalProcess, ForwardingTable, SegmentReport, Source, StabilityVerdict, TrafficConfig,
+    TrafficError, TrafficSession,
+};
+
+use crate::fault::{ChurnTrace, FaultKind};
+use crate::report::{EpochMetrics, RepairRecord, ResilienceReport};
+
+/// Knobs of the recovery loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReschedulerConfig {
+    /// Epoch length in slots; `0` means "one initial frame length".
+    pub epoch_slots: u64,
+    /// Whether to reroute demands and repair the frame after each fault.
+    /// Off = the no-repair baseline.
+    pub repair: bool,
+    /// Whether to defer flows while the analytic verdict is Overloaded.
+    pub admission: bool,
+    /// Per-epoch delivery percentage that counts as recovered.
+    pub recovery_threshold_pct: f64,
+}
+
+impl Default for ReschedulerConfig {
+    fn default() -> Self {
+        Self {
+            epoch_slots: 0,
+            repair: true,
+            admission: true,
+            recovery_threshold_pct: 99.0,
+        }
+    }
+}
+
+impl ReschedulerConfig {
+    /// The no-repair, no-admission baseline configuration.
+    pub fn baseline() -> Self {
+        Self {
+            repair: false,
+            admission: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a resilience run could not start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResilienceError {
+    /// Building routes or demands failed (bad gateway set, …).
+    Topology(TopologyError),
+    /// Driving the traffic session failed (empty frame, …).
+    Traffic(TrafficError),
+    /// No node offers traffic: every demand is zero or unreachable.
+    NoSources,
+    /// The horizon is zero slots.
+    ZeroHorizon,
+}
+
+impl std::fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Topology(e) => write!(f, "topology error: {e}"),
+            Self::Traffic(e) => write!(f, "traffic error: {e}"),
+            Self::NoSources => write!(f, "no reachable node offers traffic"),
+            Self::ZeroHorizon => write!(f, "the horizon must be at least one slot"),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+impl From<TopologyError> for ResilienceError {
+    fn from(e: TopologyError) -> Self {
+        Self::Topology(e)
+    }
+}
+
+impl From<TrafficError> for ResilienceError {
+    fn from(e: TrafficError) -> Self {
+        Self::Traffic(e)
+    }
+}
+
+/// One fault-injection experiment: an environment, gateways, demands and a
+/// load factor, ready to [`run`](Self::run) against churn traces.
+#[derive(Debug, Clone)]
+pub struct ResilienceHarness {
+    env: RadioEnvironment,
+    gateways: Vec<NodeId>,
+    demands: DemandVector,
+    rho: f64,
+    config: ReschedulerConfig,
+}
+
+impl ResilienceHarness {
+    /// Creates a harness over the given world at load factor `rho` (the
+    /// utilization every link sits at under the initial schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rho` and `rho` is finite.
+    pub fn new(
+        env: RadioEnvironment,
+        gateways: Vec<NodeId>,
+        demands: DemandVector,
+        rho: f64,
+    ) -> Self {
+        assert!(rho > 0.0 && rho.is_finite(), "load factor must be positive");
+        Self {
+            env,
+            gateways,
+            demands,
+            rho,
+            config: ReschedulerConfig::default(),
+        }
+    }
+
+    /// Overrides the rescheduler configuration.
+    pub fn with_config(mut self, config: ReschedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the experiment: `trace` injected over `horizon_slots` slots,
+    /// with `seed` driving both routing tie-breaks and packet arrivals.
+    /// Deterministic: the same harness, trace, horizon and seed produce an
+    /// identical report.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty gateway set, zero horizon, or when no reachable
+    /// node offers traffic.
+    pub fn run(
+        &self,
+        trace: &ChurnTrace,
+        horizon_slots: u64,
+        seed: u64,
+    ) -> Result<ResilienceReport, ResilienceError> {
+        if horizon_slots == 0 {
+            return Err(ResilienceError::ZeroHorizon);
+        }
+        let mut state = RunState::start(self, seed)?;
+        let epoch_slots = if self.config.epoch_slots == 0 {
+            state.frame_slots_initial
+        } else {
+            self.config.epoch_slots
+        };
+
+        let mut events = trace
+            .events()
+            .iter()
+            .filter(|e| e.slot < horizon_slots)
+            .peekable();
+        let mut epoch = EpochAccumulator::new(0);
+        let mut epochs: Vec<EpochMetrics> = Vec::new();
+        let mut now = 0u64;
+        while now < horizon_slots {
+            let mut faulted = false;
+            while events.peek().map(|e| e.slot <= now).unwrap_or(false) {
+                let event = events.next().expect("peeked");
+                state.apply_fault(event.kind);
+                faulted = true;
+            }
+            if faulted {
+                if self.config.repair {
+                    state.reschedule(now)?;
+                }
+                state.sync_pause_states();
+                if self.config.admission {
+                    state.admit();
+                }
+            }
+            let next_fault = events.peek().map(|e| e.slot).unwrap_or(horizon_slots);
+            let next_epoch = ((now / epoch_slots) + 1) * epoch_slots;
+            let target = next_fault.min(next_epoch).min(horizon_slots);
+            let segment = state.session.advance(target - now);
+            epoch.add(&segment);
+            now = target;
+            if now.is_multiple_of(epoch_slots) || now == horizon_slots {
+                epochs.push(epoch.flush(&state, now, epoch_slots));
+                epoch = EpochAccumulator::new(now);
+            }
+        }
+
+        Ok(state.into_report(trace, horizon_slots, epochs))
+    }
+}
+
+/// Running per-epoch counters between flushes.
+struct EpochAccumulator {
+    start_slot: u64,
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl EpochAccumulator {
+    fn new(start_slot: u64) -> Self {
+        Self {
+            start_slot,
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    fn add(&mut self, segment: &SegmentReport) {
+        self.injected += segment.injected;
+        self.delivered += segment.delivered;
+        self.dropped += segment.dropped;
+    }
+
+    fn flush(&self, state: &RunState, end_slot: u64, epoch_slots: u64) -> EpochMetrics {
+        let delivery_pct = if self.injected == 0 {
+            100.0
+        } else {
+            self.delivered as f64 / self.injected as f64 * 100.0
+        };
+        let (_, verdict) = state.session.analytic_loads();
+        EpochMetrics {
+            epoch: self.start_slot / epoch_slots,
+            start_slot: self.start_slot,
+            end_slot,
+            injected: self.injected,
+            delivered: self.delivered,
+            dropped: self.dropped,
+            backlog_end: state.session.totals().in_flight,
+            delivery_pct,
+            stable: verdict.is_stable(),
+        }
+    }
+}
+
+/// The live state of one run: session, schedule, and fault bookkeeping.
+struct RunState {
+    env: RadioEnvironment,
+    gateways: Vec<NodeId>,
+    base_demands: DemandVector,
+    session: TrafficSession,
+    schedule: Schedule,
+    sources: Vec<Source>,
+    frame_slots_initial: u64,
+    route_seed: u64,
+    /// Canonically ordered endpoints of explicitly failed links.
+    dead_links: BTreeSet<(NodeId, NodeId)>,
+    /// Explicitly failed nodes.
+    dead_nodes: BTreeSet<NodeId>,
+    /// Flows stopped by churn events.
+    stopped: BTreeSet<NodeId>,
+    /// Flows deferred by admission control.
+    deferred: BTreeSet<NodeId>,
+    /// Sources currently cut off from every gateway.
+    cut_off: BTreeSet<NodeId>,
+    repairs: Vec<RepairRecord>,
+}
+
+impl RunState {
+    fn start(harness: &ResilienceHarness, seed: u64) -> Result<Self, ResilienceError> {
+        let env = harness.env.clone();
+        let graph = env.communication_graph();
+        let (forest, _) = RoutingForest::shortest_path_partial(&graph, &harness.gateways, seed)?;
+        let demands = effective_demands(&harness.demands, &forest, &BTreeSet::new());
+        let link_demands = LinkDemands::aggregate(&forest, &demands)?;
+        let schedule = GreedyPhysical::paper_baseline().schedule(&env, &link_demands);
+        let frame_slots = schedule.length() as u64;
+        if frame_slots == 0 {
+            return Err(ResilienceError::NoSources);
+        }
+        let sources: Vec<Source> = (0..demands.len() as u32)
+            .map(NodeId::new)
+            .filter(|&v| demands.demand(v) > 0 && forest.is_reachable(v) && !forest.is_gateway(v))
+            .map(|v| Source {
+                node: v,
+                arrival: ArrivalProcess::deterministic(
+                    harness.rho * demands.demand(v) as f64 / frame_slots as f64,
+                ),
+            })
+            .collect();
+        if sources.is_empty() {
+            return Err(ResilienceError::NoSources);
+        }
+        let session = TrafficSession::new(
+            FrameService::from_schedule(&schedule),
+            sources.clone(),
+            ForwardingTable::from_forest(&forest),
+            TrafficConfig::new(1).with_seed(seed),
+        )?;
+        Ok(Self {
+            env,
+            gateways: harness.gateways.clone(),
+            base_demands: harness.demands.clone(),
+            session,
+            schedule,
+            sources,
+            frame_slots_initial: frame_slots,
+            route_seed: seed,
+            dead_links: BTreeSet::new(),
+            dead_nodes: BTreeSet::new(),
+            stopped: BTreeSet::new(),
+            deferred: BTreeSet::new(),
+            cut_off: BTreeSet::new(),
+            repairs: Vec::new(),
+        })
+    }
+
+    /// Applies one fault to the bookkeeping and the live session. Routing
+    /// and scheduling consequences are handled by `reschedule`.
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkDown(link) => {
+                self.dead_links.insert(endpoints(link));
+                self.session.fail_link(link);
+                self.session.fail_link(link.reversed());
+            }
+            FaultKind::LinkUp(link) => {
+                self.dead_links.remove(&endpoints(link));
+                if !self.touches_dead_node(link) {
+                    self.session.restore_link(link);
+                    self.session.restore_link(link.reversed());
+                }
+            }
+            FaultKind::NodeDown(node) => {
+                self.dead_nodes.insert(node);
+                for link in self.incident_links(node) {
+                    self.session.fail_link(link);
+                    self.session.fail_link(link.reversed());
+                }
+            }
+            FaultKind::NodeUp(node) => {
+                self.dead_nodes.remove(&node);
+                for link in self.incident_links(node) {
+                    let other = if link.head == node {
+                        link.tail
+                    } else {
+                        link.head
+                    };
+                    if self.dead_nodes.contains(&other)
+                        || self.dead_links.contains(&endpoints(link))
+                    {
+                        continue;
+                    }
+                    self.session.restore_link(link);
+                    self.session.restore_link(link.reversed());
+                }
+            }
+            FaultKind::Fade { sigma_db, seed } => {
+                self.env = self.env.refaded(sigma_db, seed);
+            }
+            FaultKind::FlowStop(node) => {
+                self.stopped.insert(node);
+            }
+            FaultKind::FlowStart(node) => {
+                self.stopped.remove(&node);
+            }
+        }
+    }
+
+    /// Every communication-graph link incident to `node`, as drawn links.
+    fn incident_links(&self, node: NodeId) -> Vec<Link> {
+        self.env
+            .communication_graph()
+            .edges()
+            .filter(|&(u, v)| u == node || v == node)
+            .map(|(u, v)| Link::new(u, v))
+            .collect()
+    }
+
+    fn touches_dead_node(&self, link: Link) -> bool {
+        self.dead_nodes.contains(&link.head) || self.dead_nodes.contains(&link.tail)
+    }
+
+    /// The communication graph with every dead node and link pruned.
+    fn pruned_graph(&self) -> Graph {
+        let dead_nodes: Vec<NodeId> = self.dead_nodes.iter().copied().collect();
+        self.env
+            .communication_graph()
+            .without_nodes(&dead_nodes)
+            .without_edges(self.dead_links.iter().copied())
+    }
+
+    /// Reroutes demands around the current fault state, repairs the frame
+    /// and swaps both into the live session.
+    fn reschedule(&mut self, slot: u64) -> Result<(), ResilienceError> {
+        let (forest, cut) = RoutingForest::shortest_path_partial(
+            &self.pruned_graph(),
+            &self.gateways,
+            self.route_seed,
+        )?;
+        self.cut_off = cut.into_iter().collect();
+        let demands = effective_demands(&self.base_demands, &forest, &self.dead_nodes);
+        let link_demands = LinkDemands::aggregate(&forest, &demands)?;
+        if link_demands.total_demand() == 0 {
+            // Everything is dead or cut off; keep the old frame (nothing can
+            // route anyway) and let the pause-state sync silence the sources.
+            self.cut_off.extend(self.sources.iter().map(|s| s.node));
+            self.session.rescue_stranded();
+            return Ok(());
+        }
+        let before = self.schedule.length() as u64;
+        let repaired = repair_schedule(&self.env, &self.schedule, &link_demands);
+        let routes = ForwardingTable::from_forest(&forest);
+        let frame_changed = repaired.schedule != self.schedule;
+        let routes_changed = &routes != self.session.routes();
+        if frame_changed {
+            self.session
+                .swap_frame(FrameService::from_schedule(&repaired.schedule))?;
+        }
+        if routes_changed {
+            self.session.set_routes(routes);
+        }
+        if frame_changed || routes_changed {
+            self.repairs.push(RepairRecord {
+                slot,
+                outcome: repaired.outcome,
+                frame_slots_before: before,
+                frame_slots_after: repaired.schedule.length() as u64,
+                removed_allocation: repaired.removed_allocation,
+                added_allocation: repaired.added_allocation,
+            });
+            self.schedule = repaired.schedule;
+        }
+        self.session.rescue_stranded();
+        Ok(())
+    }
+
+    /// Aligns every source's pause flag with the fault, churn, admission
+    /// and reachability state.
+    fn sync_pause_states(&mut self) {
+        for i in 0..self.sources.len() {
+            let node = self.sources[i].node;
+            let want_paused = self.stopped.contains(&node)
+                || self.dead_nodes.contains(&node)
+                || self.cut_off.contains(&node)
+                || self.deferred.contains(&node);
+            if want_paused {
+                self.session.pause_source(node);
+            } else {
+                self.session.resume_source(node);
+            }
+        }
+    }
+
+    /// Admission control: first re-admit every admission-deferred source,
+    /// then — while the analytic verdict is Overloaded — defer the
+    /// highest-rate active source crossing a bottleneck link.
+    fn admit(&mut self) {
+        self.deferred.clear();
+        self.sync_pause_states();
+        loop {
+            let (_, verdict) = self.session.analytic_loads();
+            let StabilityVerdict::Overloaded { bottlenecks } = verdict else {
+                break;
+            };
+            let hot: HashSet<Link> = bottlenecks.iter().map(|b| b.link).collect();
+            let mut candidate: Option<(f64, NodeId)> = None;
+            for source in &self.sources {
+                if self.session.is_source_paused(source.node) {
+                    continue;
+                }
+                let crosses_hot = self
+                    .session
+                    .routes()
+                    .path_links(source.node)
+                    .iter()
+                    .any(|l| hot.contains(l));
+                if !crosses_hot {
+                    continue;
+                }
+                let rate = source.arrival.mean_rate();
+                let better = match candidate {
+                    None => true,
+                    Some((best_rate, best_node)) => {
+                        rate > best_rate || (rate == best_rate && source.node < best_node)
+                    }
+                };
+                if better {
+                    candidate = Some((rate, source.node));
+                }
+            }
+            let Some((_, node)) = candidate else {
+                // Every bottlenecked source is already silent; nothing more
+                // admission can do (e.g. an unserved link in the baseline).
+                break;
+            };
+            self.deferred.insert(node);
+            self.session.pause_source(node);
+        }
+    }
+
+    fn into_report(
+        self,
+        trace: &ChurnTrace,
+        horizon_slots: u64,
+        epochs: Vec<EpochMetrics>,
+    ) -> ResilienceReport {
+        let first_fault_slot = trace.first_slot().filter(|&s| s < horizon_slots);
+
+        // Recovery is structural: an epoch counts as recovered when nothing
+        // was dropped, the analytic verdict is Stable, and the backlog is
+        // back in the pre-fault band (pre-fault peak plus one in-flight
+        // packet per source — per-epoch delivery ratios fluctuate with
+        // boundary carryover, backlog drain does not). Sustained means
+        // *every* later epoch holds it; the caller checks the recovery
+        // threshold against `post_recovery_delivery_pct`.
+        let allowance = self.sources.len() as u64;
+        let prefault_cap = first_fault_slot
+            .map(|fault| {
+                epochs
+                    .iter()
+                    .filter(|e| e.end_slot <= fault)
+                    .map(|e| e.backlog_end)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
+            + allowance;
+        let recovered_epoch =
+            |e: &EpochMetrics| e.dropped == 0 && e.stable && e.backlog_end <= prefault_cap;
+        let suffix_start = epochs
+            .iter()
+            .rposition(|e| !recovered_epoch(e))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let recovered = suffix_start < epochs.len();
+        let (time_to_recover_slots, recovery_slot) = match (first_fault_slot, recovered) {
+            (Some(fault), true) => {
+                let start = epochs[suffix_start].start_slot.max(fault);
+                (Some(start - fault), start)
+            }
+            (Some(_), false) => (None, horizon_slots),
+            (None, _) => (None, 0),
+        };
+
+        let window_pct = |from: u64, to: u64| {
+            let (injected, delivered) = epochs
+                .iter()
+                .filter(|e| e.end_slot > from && e.start_slot < to)
+                .fold((0u64, 0u64), |(i, d), e| (i + e.injected, d + e.delivered));
+            if injected == 0 {
+                100.0
+            } else {
+                delivered as f64 / injected as f64 * 100.0
+            }
+        };
+        let (outage_delivery_pct, post_recovery_delivery_pct) = match first_fault_slot {
+            Some(fault) => (
+                window_pct(fault, recovery_slot.max(fault + 1)),
+                window_pct(recovery_slot, horizon_slots.max(recovery_slot + 1)),
+            ),
+            None => (100.0, window_pct(0, horizon_slots)),
+        };
+
+        let totals = self.session.totals();
+        let (_, verdict) = self.session.analytic_loads();
+        ResilienceReport {
+            frame_slots_initial: self.frame_slots_initial,
+            horizon_slots,
+            epochs,
+            repairs: self.repairs,
+            totals,
+            first_fault_slot,
+            time_to_recover_slots,
+            outage_delivery_pct,
+            post_recovery_delivery_pct,
+            disruption_peak_backlog: totals.peak_backlog,
+            deferred_flows: self.deferred.len(),
+            final_verdict_stable: verdict.is_stable(),
+        }
+    }
+}
+
+/// Canonical (min, max) endpoints of an undirected link.
+fn endpoints(link: Link) -> (NodeId, NodeId) {
+    let (a, b) = (link.head, link.tail);
+    (a.min(b), a.max(b))
+}
+
+/// `base` with dead and unreachable nodes zeroed.
+fn effective_demands(
+    base: &DemandVector,
+    forest: &RoutingForest,
+    dead_nodes: &BTreeSet<NodeId>,
+) -> DemandVector {
+    DemandVector::from_vec(
+        (0..base.len() as u32)
+            .map(|i| {
+                let v = NodeId::new(i);
+                if dead_nodes.contains(&v) || !forest.is_reachable(v) {
+                    0
+                } else {
+                    base.demand(v)
+                }
+            })
+            .collect(),
+    )
+}

@@ -47,6 +47,7 @@ pub mod frame;
 pub mod greedy;
 pub mod linear;
 pub mod metrics;
+pub mod repair;
 pub mod schedule;
 pub mod verify;
 
@@ -58,6 +59,7 @@ pub use frame::{FrameService, NextService, ServiceWindow};
 pub use greedy::{EdgeOrdering, GreedyPhysical};
 pub use linear::serialized_schedule;
 pub use metrics::ScheduleMetrics;
+pub use repair::{repair_schedule, RepairOutcome, RepairedSchedule};
 pub use schedule::{Schedule, SlotPattern};
 pub use verify::{verify_schedule, verify_slots_feasible, ScheduleViolation};
 
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use crate::greedy::{EdgeOrdering, GreedyPhysical};
     pub use crate::linear::serialized_schedule;
     pub use crate::metrics::ScheduleMetrics;
+    pub use crate::repair::{repair_schedule, RepairOutcome, RepairedSchedule};
     pub use crate::schedule::{Schedule, SlotPattern};
     pub use crate::verify::{verify_schedule, verify_slots_feasible, ScheduleViolation};
 }

@@ -1,0 +1,339 @@
+//! Incremental run-level repair of a compact schedule after faults.
+//!
+//! When links die or demands shift (a rescheduling event), rebuilding the
+//! whole frame with [`GreedyPhysical`] pays the full first-fit placement cost
+//! for *every* link. Most of that work is wasted: a single link failure
+//! leaves the vast majority of runs untouched. [`repair_schedule`] instead
+//! patches the existing run-length schedule in three passes —
+//!
+//! 1. **strip** links that the new demand target no longer schedules (dead
+//!    links, rerouted-away links) from every run they appear in; slot
+//!    patterns are downward-closed under the physical model, so removing a
+//!    transmitter never invalidates a feasible pattern;
+//! 2. **trim** surplus allocation of links whose target demand shrank,
+//!    splitting tail runs where needed;
+//! 3. **place** the deficits — links whose target grew or that are new —
+//!    with exactly the batched first-fit probing [`GreedyPhysical`] uses
+//!    (whole-run assignment, run splitting via a rebuilt accumulator, solo
+//!    runs for the remainder), but probing only the deficit links.
+//!
+//! The repaired schedule is then probe-verified with
+//! [`verify_schedule`](crate::verify::verify_schedule); if verification fails
+//! (e.g. the input schedule was stale against a perturbed environment), the
+//! repair falls back to a full [`GreedyPhysical`] rebuild. Either way the
+//! caller receives a schedule whose allocation exactly matches the target,
+//! tagged with which path produced it.
+
+use std::collections::HashMap;
+
+use scream_netsim::ChannelId;
+use scream_topology::{Link, LinkDemands};
+
+use crate::feasibility::{ChannelSlotAccumulator, SlotFeasibility};
+use crate::greedy::{EdgeOrdering, GreedyPhysical};
+use crate::schedule::{Schedule, SlotPattern};
+use crate::verify::verify_schedule;
+
+/// Which path produced the repaired schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum RepairOutcome {
+    /// The existing runs were patched in place and the result verified.
+    Incremental,
+    /// The incremental patch failed verification; the schedule is a full
+    /// [`GreedyPhysical`] rebuild against the target.
+    Rebuilt,
+}
+
+/// A repaired schedule plus how it was obtained and how much changed.
+#[derive(Debug, Clone)]
+pub struct RepairedSchedule {
+    /// The repaired frame; its allocation equals the target exactly and it
+    /// passes [`verify_schedule`](crate::verify::verify_schedule) whenever
+    /// the fallback rebuild does.
+    pub schedule: Schedule,
+    /// Which path produced it.
+    pub outcome: RepairOutcome,
+    /// Link-slot allocations removed by the strip/trim passes (meaningful
+    /// for the incremental path; 0 when rebuilt).
+    pub removed_allocation: u64,
+    /// Link-slot allocations added by the deficit pass (0 when rebuilt).
+    pub added_allocation: u64,
+}
+
+/// Repairs `schedule` so its allocation matches `target` exactly, patching
+/// runs incrementally and falling back to a full [`GreedyPhysical`] rebuild
+/// if the patched frame does not verify under `model`.
+///
+/// Deterministic: the same `(schedule, target)` pair always produces the
+/// same repaired schedule (deficits are placed in the paper's
+/// decreasing-head-id order).
+pub fn repair_schedule<M: SlotFeasibility>(
+    model: &M,
+    schedule: &Schedule,
+    target: &LinkDemands,
+) -> RepairedSchedule {
+    let want: HashMap<Link, u64> = target.demanded_links().collect();
+
+    // Working copy of the run list as raw entry vectors.
+    let mut runs: Vec<(Vec<(ChannelId, Link)>, u64)> = schedule
+        .runs()
+        .map(|(pattern, count)| (pattern.entries().collect(), count))
+        .collect();
+
+    // Pass 1: strip links the target no longer schedules.
+    let mut removed: u64 = 0;
+    for (entries, count) in &mut runs {
+        let before = entries.len();
+        entries.retain(|(_, link)| want.contains_key(link));
+        removed += (before - entries.len()) as u64 * *count;
+    }
+
+    // Current allocation after stripping.
+    let mut alloc: HashMap<Link, u64> = HashMap::new();
+    for (entries, count) in &runs {
+        for &(_, link) in entries {
+            *alloc.entry(link).or_insert(0) += *count;
+        }
+    }
+
+    // Pass 2: trim surplus from the tail, splitting runs where needed.
+    let mut surplus: Vec<(Link, u64)> = want
+        .iter()
+        .filter_map(|(&link, &w)| {
+            let have = alloc.get(&link).copied().unwrap_or(0);
+            (have > w).then(|| (link, have - w))
+        })
+        .collect();
+    surplus.sort_unstable();
+    for (link, mut excess) in surplus {
+        removed += excess;
+        let mut idx = runs.len();
+        while excess > 0 && idx > 0 {
+            idx -= 1;
+            let (entries, count) = &runs[idx];
+            if !entries.iter().any(|&(_, l)| l == link) {
+                continue;
+            }
+            if *count <= excess {
+                excess -= *count;
+                runs[idx].0.retain(|&(_, l)| l != link);
+            } else {
+                // Split: keep `count - excess` slots with the link, then
+                // `excess` slots without it, preserving slot order.
+                let mut tail = runs[idx].0.clone();
+                tail.retain(|&(_, l)| l != link);
+                let tail_count = excess;
+                runs[idx].1 -= excess;
+                runs.insert(idx + 1, (tail, tail_count));
+                excess = 0;
+            }
+        }
+    }
+    runs.retain(|(entries, _)| !entries.is_empty());
+
+    // Pass 3: place deficits with the batched first-fit probe. Rebuild one
+    // accumulator per surviving run (assignment only — no probing), then scan
+    // them for each deficit link exactly as `GreedyPhysical::schedule` does.
+    struct OpenRun<'m> {
+        accumulator: Box<dyn ChannelSlotAccumulator + 'm>,
+        count: u64,
+    }
+    fn rebuild<'m, M: SlotFeasibility + ?Sized>(
+        model: &'m M,
+        entries: &[(ChannelId, Link)],
+    ) -> Box<dyn ChannelSlotAccumulator + 'm> {
+        let mut accumulator = model.open_channel_slot();
+        for &(channel, link) in entries {
+            accumulator.assign(channel, link);
+        }
+        accumulator
+    }
+
+    let mut deficits: Vec<(Link, u64)> = want
+        .iter()
+        .filter_map(|(&link, &w)| {
+            let have = alloc.get(&link).copied().unwrap_or(0);
+            (have < w).then(|| (link, w - have))
+        })
+        .collect();
+    EdgeOrdering::DecreasingHeadId.sort(&mut deficits);
+    let added: u64 = deficits.iter().map(|&(_, d)| d).sum();
+
+    let channel_count = model.channel_count().max(1);
+    let channels: Vec<ChannelId> = (0..channel_count)
+        .map(|c| ChannelId::new(c as u16))
+        .collect();
+    let mut open_runs: Vec<OpenRun<'_>> = runs
+        .iter()
+        .map(|(entries, count)| OpenRun {
+            accumulator: rebuild(model, entries),
+            count: *count,
+        })
+        .collect();
+    for (link, demand) in deficits {
+        let mut remaining = demand;
+        let mut idx = 0usize;
+        'slots: while remaining > 0 && idx < open_runs.len() {
+            let run = &mut open_runs[idx];
+            if !run.accumulator.contains_link(link) {
+                for &channel in &channels {
+                    if !run.accumulator.can_add(channel, link) {
+                        continue;
+                    }
+                    if remaining >= run.count {
+                        run.accumulator.assign(channel, link);
+                        remaining -= run.count;
+                        break;
+                    }
+                    // Split the run, augmented part first (first-fit order).
+                    let mut augmented = model.open_channel_slot();
+                    for c in 0..run.accumulator.channel_count() {
+                        let c = ChannelId::new(c as u16);
+                        for &l in run.accumulator.links(c) {
+                            augmented.assign(c, l);
+                        }
+                    }
+                    augmented.assign(channel, link);
+                    run.count -= remaining;
+                    open_runs.insert(
+                        idx,
+                        OpenRun {
+                            accumulator: augmented,
+                            count: remaining,
+                        },
+                    );
+                    remaining = 0;
+                    break 'slots;
+                }
+            }
+            idx += 1;
+        }
+        if remaining > 0 {
+            let mut accumulator = model.open_channel_slot();
+            accumulator.assign(ChannelId::ZERO, link);
+            open_runs.push(OpenRun {
+                accumulator,
+                count: remaining,
+            });
+        }
+    }
+
+    let repaired = Schedule::from_pattern_runs(open_runs.into_iter().map(|run| {
+        let entries: Vec<(ChannelId, Link)> = channels
+            .iter()
+            .flat_map(|&c| run.accumulator.links(c).iter().map(move |&l| (c, l)))
+            .collect();
+        (SlotPattern::from_entries(entries), run.count)
+    }));
+
+    if verify_schedule(model, &repaired, target).is_ok() {
+        return RepairedSchedule {
+            schedule: repaired,
+            outcome: RepairOutcome::Incremental,
+            removed_allocation: removed,
+            added_allocation: added,
+        };
+    }
+    RepairedSchedule {
+        schedule: GreedyPhysical::paper_baseline().schedule(model, target),
+        outcome: RepairOutcome::Rebuilt,
+        removed_allocation: 0,
+        added_allocation: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scream_topology::NodeId;
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    /// Shared-endpoint-only model (as in the greedy tests): deterministic
+    /// packing without SINR noise.
+    struct EndpointOnly;
+    impl SlotFeasibility for EndpointOnly {
+        fn slot_feasible(&self, links: &[Link]) -> bool {
+            for (i, a) in links.iter().enumerate() {
+                for b in links.iter().skip(i + 1) {
+                    if a.shares_endpoint(b) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn stripping_a_dead_link_shrinks_the_frame_and_verifies() {
+        // (1,0) and (3,2) pack together; (2,1) conflicts with both.
+        let demands =
+            LinkDemands::from_links(6, &[(link(1, 0), 10), (link(3, 2), 10), (link(2, 1), 4)])
+                .unwrap();
+        let schedule = GreedyPhysical::paper_baseline().schedule(&EndpointOnly, &demands);
+        assert_eq!(schedule.length(), 14);
+
+        // Link (2,1) dies: the target drops it, nothing else changes.
+        let target = LinkDemands::from_links(6, &[(link(1, 0), 10), (link(3, 2), 10)]).unwrap();
+        let repaired = repair_schedule(&EndpointOnly, &schedule, &target);
+        assert_eq!(repaired.outcome, RepairOutcome::Incremental);
+        assert_eq!(repaired.removed_allocation, 4);
+        assert_eq!(repaired.added_allocation, 0);
+        assert_eq!(repaired.schedule.allocated_to(link(2, 1)), 0);
+        assert_eq!(repaired.schedule.length(), 10, "empty tail slots dropped");
+        verify_schedule(&EndpointOnly, &repaired.schedule, &target).unwrap();
+    }
+
+    #[test]
+    fn rerouted_demand_is_trimmed_and_placed_incrementally() {
+        let demands = LinkDemands::from_links(6, &[(link(1, 0), 8), (link(3, 2), 5)]).unwrap();
+        let schedule = GreedyPhysical::paper_baseline().schedule(&EndpointOnly, &demands);
+
+        // Reroute: (3,2) loses 3 units, (1,0) gains 3, and a new disjoint
+        // link (5,4) appears with demand 6.
+        let target =
+            LinkDemands::from_links(6, &[(link(1, 0), 11), (link(3, 2), 2), (link(5, 4), 6)])
+                .unwrap();
+        let repaired = repair_schedule(&EndpointOnly, &schedule, &target);
+        assert_eq!(repaired.outcome, RepairOutcome::Incremental);
+        for (l, d) in target.demanded_links() {
+            assert_eq!(repaired.schedule.allocated_to(l), d, "allocation of {l}");
+        }
+        verify_schedule(&EndpointOnly, &repaired.schedule, &target).unwrap();
+        // All three links are pairwise disjoint, so the frame is exactly the
+        // longest single demand.
+        assert_eq!(repaired.schedule.length(), 11);
+    }
+
+    #[test]
+    fn an_unverifiable_input_falls_back_to_a_full_rebuild() {
+        // Hand-build a frame whose only slot packs two conflicting links —
+        // stale state the incremental patch preserves, so verification fails
+        // and the repair must fall back to GreedyPhysical.
+        let mut stale = Schedule::new();
+        stale.push_slot_run(vec![link(1, 0), link(2, 1)], 3);
+        let target = LinkDemands::from_links(4, &[(link(1, 0), 3), (link(2, 1), 3)]).unwrap();
+        let repaired = repair_schedule(&EndpointOnly, &stale, &target);
+        assert_eq!(repaired.outcome, RepairOutcome::Rebuilt);
+        verify_schedule(&EndpointOnly, &repaired.schedule, &target).unwrap();
+        assert_eq!(repaired.schedule.length(), 6, "conflicts serialized");
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let demands =
+            LinkDemands::from_links(8, &[(link(1, 0), 7), (link(3, 2), 4), (link(5, 4), 9)])
+                .unwrap();
+        let schedule = GreedyPhysical::paper_baseline().schedule(&EndpointOnly, &demands);
+        let target =
+            LinkDemands::from_links(8, &[(link(1, 0), 2), (link(5, 4), 12), (link(7, 6), 3)])
+                .unwrap();
+        let a = repair_schedule(&EndpointOnly, &schedule, &target);
+        let b = repair_schedule(&EndpointOnly, &schedule, &target);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.outcome, b.outcome);
+    }
+}

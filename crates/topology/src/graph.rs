@@ -92,6 +92,46 @@ impl Graph {
         Ok(())
     }
 
+    /// A copy of this graph with the given edges removed (fault pruning).
+    ///
+    /// Each pair removes the edge between its endpoints regardless of
+    /// orientation in an undirected graph; pairs naming absent edges or
+    /// out-of-range nodes are ignored, so a stale fault list is harmless.
+    /// Node count and ids are preserved — pruning never reindexes.
+    pub fn without_edges(&self, dead: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let dead: Vec<(NodeId, NodeId)> = dead.into_iter().collect();
+        let is_dead = |u: NodeId, v: NodeId| {
+            dead.iter().any(|&(a, b)| {
+                (a, b) == (u, v) || (self.kind == GraphKind::Undirected && (a, b) == (v, u))
+            })
+        };
+        let mut pruned = Self::new(self.node_count(), self.kind);
+        for (u, v) in self.edges() {
+            if !is_dead(u, v) {
+                pruned
+                    .add_edge(u, v)
+                    .expect("surviving endpoints are in range by construction");
+            }
+        }
+        pruned
+    }
+
+    /// A copy of this graph with the given nodes isolated (fault pruning):
+    /// every edge incident to a dead node is dropped, but the node itself
+    /// keeps its id so downstream indexing stays valid. Out-of-range ids are
+    /// ignored.
+    pub fn without_nodes(&self, dead: &[NodeId]) -> Self {
+        let mut pruned = Self::new(self.node_count(), self.kind);
+        for (u, v) in self.edges() {
+            if !dead.contains(&u) && !dead.contains(&v) {
+                pruned
+                    .add_edge(u, v)
+                    .expect("surviving endpoints are in range by construction");
+            }
+        }
+        pruned
+    }
+
     /// Returns `true` if an edge from `u` to `v` exists.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.adjacency
@@ -341,6 +381,35 @@ mod tests {
                 .unwrap();
         }
         g
+    }
+
+    #[test]
+    fn without_edges_prunes_either_orientation_and_keeps_ids() {
+        let g = path_graph(4);
+        // The dead pair is given tail-first; the undirected graph must still
+        // drop the edge, and absent pairs are ignored.
+        let pruned = g.without_edges([
+            (NodeId::new(2), NodeId::new(1)),
+            (NodeId::new(0), NodeId::new(3)),
+        ]);
+        assert_eq!(pruned.node_count(), 4);
+        assert_eq!(pruned.edge_count(), 2);
+        assert!(pruned.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!pruned.has_edge(NodeId::new(1), NodeId::new(2)));
+        assert!(!pruned.is_connected());
+        // The original is untouched.
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn without_nodes_isolates_but_never_reindexes() {
+        let g = path_graph(5);
+        let pruned = g.without_nodes(&[NodeId::new(2)]);
+        assert_eq!(pruned.node_count(), 5);
+        assert_eq!(pruned.edge_count(), 2);
+        assert_eq!(pruned.degree(NodeId::new(2)), 0);
+        assert!(pruned.has_edge(NodeId::new(3), NodeId::new(4)));
+        assert!(!pruned.is_connected());
     }
 
     #[test]

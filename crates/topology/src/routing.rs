@@ -199,6 +199,32 @@ impl RoutingForest {
         gateways: &[NodeId],
         seed: u64,
     ) -> Result<Self, TopologyError> {
+        let (forest, unreachable) = Self::shortest_path_partial(graph, gateways, seed)?;
+        if !unreachable.is_empty() {
+            return Err(TopologyError::Disconnected {
+                unreachable: unreachable.len(),
+            });
+        }
+        Ok(forest)
+    }
+
+    /// Like [`shortest_path`](Self::shortest_path), but tolerates nodes that
+    /// cannot reach any gateway (a faulted topology): the forest covers the
+    /// reachable component and the cut-off nodes are returned alongside it,
+    /// sorted by id. Cut-off nodes own no tree edge, appear in no
+    /// [`flow_routes`](Self::flow_routes), and report `false` from
+    /// [`is_reachable`](Self::is_reachable).
+    ///
+    /// # Errors
+    ///
+    /// The gateway-set errors of [`shortest_path`](Self::shortest_path)
+    /// (`NoGateways`, `DuplicateGateway`, `UnknownNode`); disconnection is
+    /// not an error here.
+    pub fn shortest_path_partial(
+        graph: &Graph,
+        gateways: &[NodeId],
+        seed: u64,
+    ) -> Result<(Self, Vec<NodeId>), TopologyError> {
         let n = graph.node_count();
         if gateways.is_empty() {
             return Err(TopologyError::NoGateways);
@@ -259,17 +285,20 @@ impl RoutingForest {
             frontier = next_frontier;
         }
 
-        let unreachable = depth.iter().filter(|&&d| d == usize::MAX).count();
-        if unreachable > 0 {
-            return Err(TopologyError::Disconnected { unreachable });
-        }
+        let unreachable: Vec<NodeId> = (0..n as u32)
+            .map(NodeId::new)
+            .filter(|v| depth[v.index()] == usize::MAX)
+            .collect();
 
-        Ok(Self {
-            parent,
-            depth,
-            root,
-            gateways: gateways.to_vec(),
-        })
+        Ok((
+            Self {
+                parent,
+                depth,
+                root,
+                gateways: gateways.to_vec(),
+            },
+            unreachable,
+        ))
     }
 
     /// Number of nodes covered by the forest.
@@ -284,7 +313,16 @@ impl RoutingForest {
 
     /// Returns `true` if `node` is a gateway.
     pub fn is_gateway(&self, node: NodeId) -> bool {
-        self.parent[node.index()].is_none()
+        self.depth[node.index()] == 0
+    }
+
+    /// Returns `true` if `node` reaches a gateway through this forest.
+    /// Always `true` for forests built by
+    /// [`shortest_path`](Self::shortest_path); partial forests
+    /// ([`shortest_path_partial`](Self::shortest_path_partial)) report
+    /// `false` for the cut-off nodes.
+    pub fn is_reachable(&self, node: NodeId) -> bool {
+        self.depth[node.index()] != usize::MAX
     }
 
     /// Parent of `node` in its routing tree, or `None` for gateways.
@@ -342,7 +380,7 @@ impl RoutingForest {
     pub fn flow_routes(&self) -> impl Iterator<Item = (NodeId, Vec<Link>)> + '_ {
         (0..self.node_count() as u32)
             .map(NodeId::new)
-            .filter(|&v| !self.is_gateway(v))
+            .filter(|&v| self.is_reachable(v) && !self.is_gateway(v))
             .map(|v| (v, self.route_to_gateway(v)))
     }
 
@@ -385,6 +423,32 @@ mod tests {
         let gateways = vec![NodeId::new(0)];
         let f = RoutingForest::shortest_path(&g, &gateways, 1).unwrap();
         (g, f)
+    }
+
+    #[test]
+    fn partial_forest_reports_cut_off_nodes_and_routes_the_rest() {
+        // Path 0-1-2-3 with gateway 0; removing edge (1,2) strands {2, 3}.
+        let mut g = Graph::new(4, GraphKind::Undirected);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            g.add_edge(NodeId::new(u), NodeId::new(v)).unwrap();
+        }
+        let pruned = g.without_edges([(NodeId::new(1), NodeId::new(2))]);
+        let gateways = vec![NodeId::new(0)];
+        assert!(matches!(
+            RoutingForest::shortest_path(&pruned, &gateways, 1),
+            Err(TopologyError::Disconnected { unreachable: 2 })
+        ));
+        let (forest, cut_off) =
+            RoutingForest::shortest_path_partial(&pruned, &gateways, 1).unwrap();
+        assert_eq!(cut_off, vec![NodeId::new(2), NodeId::new(3)]);
+        assert!(forest.is_reachable(NodeId::new(1)));
+        assert!(!forest.is_reachable(NodeId::new(3)));
+        assert!(forest.is_gateway(NodeId::new(0)));
+        assert!(!forest.is_gateway(NodeId::new(2)), "cut off, not a root");
+        let routes: Vec<_> = forest.flow_routes().collect();
+        assert_eq!(routes.len(), 1, "only node 1 still has a route");
+        assert_eq!(routes[0].0, NodeId::new(1));
+        assert_eq!(forest.tree_edges().count(), 1);
     }
 
     #[test]

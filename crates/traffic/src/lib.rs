@@ -52,10 +52,12 @@
 pub mod engine;
 pub mod flow;
 pub mod report;
+pub mod session;
 
 pub use engine::{TrafficConfig, TrafficEngine, TrafficError};
 pub use flow::{ArrivalProcess, Flow, FlowSet};
 pub use report::{DelayStats, LinkLoad, StabilityVerdict, TrafficReport};
+pub use session::{ForwardingTable, SegmentReport, SessionTotals, Source, TrafficSession};
 
 // Re-exported so traffic consumers can build frame indexes without also
 // depending on scream-scheduling directly.
@@ -66,5 +68,8 @@ pub mod prelude {
     pub use crate::engine::{TrafficConfig, TrafficEngine, TrafficError};
     pub use crate::flow::{ArrivalProcess, Flow, FlowSet};
     pub use crate::report::{DelayStats, LinkLoad, StabilityVerdict, TrafficReport};
+    pub use crate::session::{
+        ForwardingTable, SegmentReport, SessionTotals, Source, TrafficSession,
+    };
     pub use scream_scheduling::FrameService;
 }

@@ -27,6 +27,8 @@ impl DelayStats {
     /// Computes the statistics from raw per-packet delays (slots). The input
     /// order does not matter; it is sorted internally.
     pub(crate) fn from_delays(mut delays: Vec<f64>) -> Self {
+        // A total outage delivers nothing: the delay block is all zeros
+        // (`count == 0`), never a panic.
         if delays.is_empty() {
             return Self::default();
         }
@@ -43,7 +45,7 @@ impl DelayStats {
             p50_slots: pct(50.0),
             p95_slots: pct(95.0),
             p99_slots: pct(99.0),
-            max_slots: *delays.last().expect("non-empty"),
+            max_slots: delays[delays.len() - 1],
         }
     }
 

@@ -19,6 +19,9 @@
 //! * [`traffic`] — the packet-level traffic engine: flows, per-link FIFO
 //!   queues and delay/throughput/stability metrics over any schedule used as
 //!   a repeating TDMA frame (`scream-traffic`);
+//! * [`resilience`] — fault injection and online recovery: seeded churn
+//!   traces, the epoch rescheduler and graceful-degradation metrics
+//!   (`scream-resilience`);
 //! * [`mote`] — the Mica2 SCREAM-detection experiment simulation
 //!   (`scream-mote`);
 //! * [`analysis`] — empirical checks of the paper's theorems
@@ -85,6 +88,12 @@ pub mod traffic {
     pub use scream_traffic::*;
 }
 
+/// Fault injection and online recovery: seeded churn traces, the epoch
+/// rescheduler and graceful-degradation metrics (`scream-resilience`).
+pub mod resilience {
+    pub use scream_resilience::*;
+}
+
 /// The simulated Mica2 SCREAM-detection experiment (`scream-mote`).
 pub mod mote {
     pub use scream_mote::*;
@@ -100,6 +109,7 @@ pub mod prelude {
     pub use scream_core::prelude::*;
     pub use scream_mote::prelude::*;
     pub use scream_netsim::prelude::*;
+    pub use scream_resilience::prelude::*;
     pub use scream_scheduling::prelude::*;
     pub use scream_topology::prelude::*;
     pub use scream_traffic::prelude::*;
