@@ -193,6 +193,9 @@ pub mod seq {
         /// Returns a uniformly random element, or `None` if the slice is
         /// empty.
         fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
     }
 
     impl<T> SliceRandom for [T] {
@@ -203,6 +206,13 @@ pub mod seq {
                 None
             } else {
                 self.get((*rng).gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (*rng).gen_range(0..i + 1);
+                self.swap(i, j);
             }
         }
     }

@@ -1,0 +1,101 @@
+//! The committed P1 baseline: per-file counts of unallowed panic sites.
+//!
+//! The gate ratchets down, never up: a file may have at most as many
+//! unallowed `unwrap`/`expect`/`panic!` sites as the committed count. New
+//! sites fail the lint; removing sites and re-running `--write-baseline`
+//! shrinks the committed numbers.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Load a baseline file. A missing file is an empty baseline.
+pub fn load(path: &Path) -> io::Result<BTreeMap<String, usize>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(e),
+    };
+    let mut counts = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, char::is_whitespace);
+        let count = parts.next().and_then(|c| c.parse::<usize>().ok());
+        let file = parts.next().map(str::trim);
+        match (count, file) {
+            (Some(c), Some(f)) if !f.is_empty() => {
+                counts.insert(f.to_string(), c);
+            }
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}:{}: expected `<count> <path>`, got `{line}`",
+                        path.display(),
+                        lineno + 1
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// Write the baseline, sorted by path, dropping zero-count entries.
+pub fn save(path: &Path, counts: &BTreeMap<String, usize>) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(
+        "# scream-lint P1 baseline: per-file counts of unallowed panic sites\n\
+         # (unwrap/expect/panic!/unreachable! in non-test library code).\n\
+         # The gate fails when a file exceeds its count. Regenerate with\n\
+         # `cargo run -p scream-lint -- --write-baseline` after removing sites;\n\
+         # the total must only ever shrink.\n",
+    );
+    for (file, count) in counts {
+        if *count > 0 {
+            out.push_str(&format!("{count} {file}\n"));
+        }
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_counts() {
+        let dir = std::env::temp_dir().join("scream_lint_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p1.txt");
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/a/src/lib.rs".to_string(), 3usize);
+        counts.insert("crates/b/src/x.rs".to_string(), 1usize);
+        counts.insert("crates/c/src/zero.rs".to_string(), 0usize);
+        save(&path, &counts).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.get("crates/a/src/lib.rs"), Some(&3));
+        assert_eq!(loaded.get("crates/b/src/x.rs"), Some(&1));
+        assert_eq!(loaded.get("crates/c/src/zero.rs"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let path = Path::new("/nonexistent/scream-lint-baseline.txt");
+        assert!(load(path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        let dir = std::env::temp_dir().join("scream_lint_baseline_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "not-a-count crates/a/src/lib.rs\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

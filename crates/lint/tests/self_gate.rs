@@ -1,0 +1,56 @@
+//! The self-gate: the workspace must pass its own linter with everything
+//! promoted to deny, exactly as CI runs it (`scream-lint --deny`).
+//!
+//! If this test fails, either a new violation slipped in (fix it or add a
+//! `// lint:allow(RULE, reason = "...")`), or a P1 site was added without
+//! shrinking the committed baseline.
+
+use scream_lint::{find_workspace_root, lint_workspace, Config};
+use std::path::Path;
+
+fn workspace_config() -> Config {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest).expect("lint crate lives inside the workspace");
+    Config::new(root)
+}
+
+#[test]
+fn workspace_is_clean_under_bare_deny() {
+    let mut cfg = workspace_config();
+    // Bare `--deny`: every rule (including the warn-by-default F1.eq and
+    // L1.unused) becomes an error, as in CI.
+    cfg.class_overrides.push((None, true));
+    let report = lint_workspace(&cfg).expect("workspace scan is readable");
+
+    assert!(
+        report.files_scanned > 50,
+        "expected the whole workspace to be scanned"
+    );
+    let mut lines: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}: {}: {}", d.path, d.line, d.rule.code(), d.message))
+        .collect();
+    lines.extend(report.baseline_violations.iter().map(|v| {
+        format!(
+            "{}: {} unallowed P1 sites exceed the baseline ({})",
+            v.path, v.current, v.allowed
+        )
+    }));
+    assert!(
+        !report.failed() && lines.is_empty(),
+        "scream-lint --deny must pass on the workspace, found:\n{}",
+        lines.join("\n")
+    );
+}
+
+#[test]
+fn p1_baseline_matches_current_count() {
+    // The ratchet invariant: the committed baseline never lags behind
+    // reality. `--write-baseline` after removing sites keeps them equal.
+    let report = lint_workspace(&workspace_config()).expect("workspace scan is readable");
+    assert_eq!(
+        report.p1_current, report.p1_baseline,
+        "committed P1 baseline is stale; run `cargo run -p scream-lint -- --write-baseline`"
+    );
+}

@@ -36,7 +36,7 @@
 //! verified against the faded environment, falling back to a full rebuild
 //! when the old slot groupings are no longer feasible.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
 use scream_netsim::RadioEnvironment;
 use scream_scheduling::{repair_schedule, FrameService, GreedyPhysical, Schedule};
@@ -495,7 +495,9 @@ impl RunState {
             let StabilityVerdict::Overloaded { bottlenecks } = verdict else {
                 break;
             };
-            let hot: HashSet<Link> = bottlenecks.iter().map(|b| b.link).collect();
+            // BTreeSet keeps the whole admission path hash-free (D1.iter):
+            // the bottleneck set is tiny and only `contains`-probed.
+            let hot: BTreeSet<Link> = bottlenecks.iter().map(|b| b.link).collect();
             let mut candidate: Option<(f64, NodeId)> = None;
             for source in &self.sources {
                 if self.session.is_source_paused(source.node) {

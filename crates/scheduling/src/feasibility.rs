@@ -371,8 +371,10 @@ impl<T: SlotFeasibility + ?Sized> SlotFeasibility for &T {
 /// `crates/bench/benches/feasibility.rs` and the `schedule_*` benches) can
 /// report the ledger's speedup against the original implementation, and so
 /// tests can cross-check the two paths.
+// lint:allow(H1.hot, reason = "definition of the pre-ledger baseline the benches measure the speedup against")
 pub struct FromScratch<M>(pub M);
 
+// lint:allow(H1.hot, reason = "baseline impl; forwards the from-scratch fallback paths by design")
 impl<M: SlotFeasibility> SlotFeasibility for FromScratch<M> {
     fn slot_feasible(&self, links: &[Link]) -> bool {
         self.0.slot_feasible(links)

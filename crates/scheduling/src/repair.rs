@@ -24,7 +24,7 @@
 //! caller receives a schedule whose allocation exactly matches the target,
 //! tagged with which path produced it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use scream_netsim::ChannelId;
 use scream_topology::{Link, LinkDemands};
@@ -72,7 +72,9 @@ pub fn repair_schedule<M: SlotFeasibility>(
     schedule: &Schedule,
     target: &LinkDemands,
 ) -> RepairedSchedule {
-    let want: HashMap<Link, u64> = target.demanded_links().collect();
+    // BTreeMap, not HashMap: both trim and deficit passes iterate `want`, so
+    // the map order must be the deterministic Link order (D1.iter).
+    let want: BTreeMap<Link, u64> = target.demanded_links().collect();
 
     // Working copy of the run list as raw entry vectors.
     let mut runs: Vec<(Vec<(ChannelId, Link)>, u64)> = schedule
@@ -89,7 +91,7 @@ pub fn repair_schedule<M: SlotFeasibility>(
     }
 
     // Current allocation after stripping.
-    let mut alloc: HashMap<Link, u64> = HashMap::new();
+    let mut alloc: BTreeMap<Link, u64> = BTreeMap::new();
     for (entries, count) in &runs {
         for &(_, link) in entries {
             *alloc.entry(link).or_insert(0) += *count;
@@ -97,14 +99,15 @@ pub fn repair_schedule<M: SlotFeasibility>(
     }
 
     // Pass 2: trim surplus from the tail, splitting runs where needed.
-    let mut surplus: Vec<(Link, u64)> = want
+    // Already in ascending Link order because `want` is a BTreeMap — the
+    // order the old explicit sort produced.
+    let surplus: Vec<(Link, u64)> = want
         .iter()
         .filter_map(|(&link, &w)| {
             let have = alloc.get(&link).copied().unwrap_or(0);
             (have > w).then(|| (link, have - w))
         })
         .collect();
-    surplus.sort_unstable();
     for (link, mut excess) in surplus {
         removed += excess;
         let mut idx = runs.len();
@@ -186,6 +189,7 @@ pub fn repair_schedule<M: SlotFeasibility>(
                         break;
                     }
                     // Split the run, augmented part first (first-fit order).
+                    // lint:allow(H1.alloc, reason = "a split ends this link's scan, so at most one rebuild per deficit link")
                     let mut augmented = model.open_channel_slot();
                     for c in 0..run.accumulator.channel_count() {
                         let c = ChannelId::new(c as u16);
@@ -209,6 +213,7 @@ pub fn repair_schedule<M: SlotFeasibility>(
             idx += 1;
         }
         if remaining > 0 {
+            // lint:allow(H1.alloc, reason = "one solo-run accumulator per leftover deficit link, not per probe")
             let mut accumulator = model.open_channel_slot();
             accumulator.assign(ChannelId::ZERO, link);
             open_runs.push(OpenRun {

@@ -41,7 +41,7 @@
 //! mutator, so the derived `PartialEq` compares logical slot sequences
 //! exactly as the old expanded form did.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::Serialize;
 
@@ -350,6 +350,7 @@ impl Schedule {
     /// consumers. Channel tags are dropped; for single-channel schedules the
     /// round trip through [`from_slots`](Self::from_slots) is exact.
     pub fn expand(&self) -> Vec<Vec<Link>> {
+        // lint:allow(H1.hot, reason = "expand() is the explicit expansion entry point; callers opt in")
         self.slots().map(|p| p.links().to_vec()).collect()
     }
 
@@ -447,8 +448,8 @@ impl Schedule {
 
     /// Number of slots allocated to each link (on whatever channel) across
     /// the whole schedule.
-    pub fn allocation_counts(&self) -> HashMap<Link, u64> {
-        let mut counts = HashMap::new();
+    pub fn allocation_counts(&self) -> BTreeMap<Link, u64> {
+        let mut counts = BTreeMap::new();
         for (pattern, count) in &self.runs {
             for (i, &link) in pattern.links().iter().enumerate() {
                 // A (degenerate) pattern may repeat a link on two channels;

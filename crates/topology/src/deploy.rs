@@ -204,11 +204,13 @@ impl Deployment {
         self.nodes
             .iter()
             .min_by(|a, b| {
+                // total_cmp: NaN-safe, so a degenerate deployment can never
+                // panic a sweep mid-run (F1.cmp).
                 a.position
                     .distance_squared(p)
-                    .partial_cmp(&b.position.distance_squared(p))
-                    .expect("distances are finite")
+                    .total_cmp(&b.position.distance_squared(p))
             })
+            // lint:allow(P1, reason = "Deployment constructors reject empty node sets")
             .expect("deployment is never empty")
             .id
     }

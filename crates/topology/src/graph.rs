@@ -81,15 +81,23 @@ impl Graph {
                 return Err(TopologyError::UnknownNode { id, node_count: n });
             }
         }
+        self.insert_edge(u, v);
+        Ok(())
+    }
+
+    /// Edge insertion for callers that guarantee both endpoints are in range
+    /// (pruned copies, transposes, builders iterating `0..n`). Keeps the
+    /// duplicate/self-loop handling of [`Self::add_edge`] without forcing an
+    /// `expect` on an error that cannot occur (P1).
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) {
         if u == v || self.has_edge(u, v) {
-            return Ok(());
+            return;
         }
         self.adjacency[u.index()].push(v);
         if self.kind == GraphKind::Undirected {
             self.adjacency[v.index()].push(u);
         }
         self.edge_count += 1;
-        Ok(())
     }
 
     /// A copy of this graph with the given edges removed (fault pruning).
@@ -108,9 +116,7 @@ impl Graph {
         let mut pruned = Self::new(self.node_count(), self.kind);
         for (u, v) in self.edges() {
             if !is_dead(u, v) {
-                pruned
-                    .add_edge(u, v)
-                    .expect("surviving endpoints are in range by construction");
+                pruned.insert_edge(u, v);
             }
         }
         pruned
@@ -124,9 +130,7 @@ impl Graph {
         let mut pruned = Self::new(self.node_count(), self.kind);
         for (u, v) in self.edges() {
             if !dead.contains(&u) && !dead.contains(&v) {
-                pruned
-                    .add_edge(u, v)
-                    .expect("surviving endpoints are in range by construction");
+                pruned.insert_edge(u, v);
             }
         }
         pruned
@@ -250,7 +254,7 @@ impl Graph {
             GraphKind::Directed => {
                 let mut t = Graph::new(self.node_count(), GraphKind::Directed);
                 for (u, v) in self.edges() {
-                    t.add_edge(v, u).expect("transposing a valid graph");
+                    t.insert_edge(v, u);
                 }
                 t
             }
@@ -360,8 +364,7 @@ impl UnitDiskGraphBuilder {
             for j in (i + 1)..n {
                 let pj = deployment.position(NodeId::new(j as u32));
                 if pi.distance_squared(pj) <= r2 {
-                    g.add_edge(NodeId::new(i as u32), NodeId::new(j as u32))
-                        .expect("indices are in range by construction");
+                    g.insert_edge(NodeId::new(i as u32), NodeId::new(j as u32));
                 }
             }
         }

@@ -261,8 +261,10 @@ impl RoutingForest {
         while !frontier.is_empty() {
             level += 1;
             // Collect candidate parents for each node at the next level.
-            let mut candidates: std::collections::HashMap<NodeId, Vec<NodeId>> =
-                std::collections::HashMap::new();
+            // BTreeMap keeps the per-level node order (and hence the rng
+            // consumption order) deterministic without an explicit sort.
+            let mut candidates: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+                std::collections::BTreeMap::new();
             for &u in &frontier {
                 for &v in graph.neighbors(u) {
                     if depth[v.index()] == usize::MAX {
@@ -270,9 +272,7 @@ impl RoutingForest {
                     }
                 }
             }
-            let mut next_frontier: Vec<NodeId> = candidates.keys().copied().collect();
-            // Deterministic iteration order for reproducibility.
-            next_frontier.sort_unstable();
+            let next_frontier: Vec<NodeId> = candidates.keys().copied().collect();
             for &v in &next_frontier {
                 let parents = &candidates[&v];
                 let &chosen = parents

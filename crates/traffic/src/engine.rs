@@ -29,7 +29,7 @@
 //! and no wall-clock value enters the simulation, so the same inputs
 //! reproduce the same [`TrafficReport`] byte for byte.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use scream_netsim::{EventQueue, SimTime};
 use scream_scheduling::{FrameService, Schedule};
@@ -188,11 +188,12 @@ impl TrafficEngine {
     /// The per-link offered load vs. service share, and the resulting
     /// analytic stability verdict — computable without simulating.
     pub fn link_loads(&self) -> (Vec<LinkLoad>, StabilityVerdict) {
-        // One pass over the flows with a hash index: a flow contributes its
+        // One pass over the flows with an index map: a flow contributes its
         // rate once per *distinct* link on its route, and links keep
         // first-appearance order — the same loads `offered_on` per link
-        // would produce, at O(total hops) instead of O(links²).
-        let mut index: HashMap<Link, usize> = HashMap::new();
+        // would produce, at O(total hops) instead of O(links²). BTreeMap so
+        // no hash-ordered container feeds the verdict (D1.iter).
+        let mut index: BTreeMap<Link, usize> = BTreeMap::new();
         let mut loads: Vec<LinkLoad> = Vec::new();
         for flow in self.flows.flows() {
             let rate = flow.arrival.mean_rate();

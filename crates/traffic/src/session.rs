@@ -35,7 +35,7 @@
 //! state at every segment start, which yields the same slots a continuous
 //! run would have assigned.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use scream_netsim::{EventQueue, SimTime};
 use scream_scheduling::FrameService;
@@ -429,7 +429,9 @@ impl TrafficSession {
     /// verdict. Dead links count as zero service, so any offered load on
     /// them is an infinite bottleneck.
     pub fn analytic_loads(&self) -> (Vec<LinkLoad>, StabilityVerdict) {
-        let mut index: HashMap<Link, usize> = HashMap::new();
+        // Report path: BTreeMap so no hash-ordered container feeds the
+        // verdict, even though this index is lookup-only (D1.iter).
+        let mut index: BTreeMap<Link, usize> = BTreeMap::new();
         let mut loads: Vec<LinkLoad> = Vec::new();
         for (i, source) in self.sources.iter().enumerate() {
             if self.paused[i] {

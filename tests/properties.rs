@@ -3,6 +3,7 @@
 //! scheduling feasibility and the FDD/GreedyPhysical equivalence.
 
 use proptest::prelude::*;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -709,5 +710,173 @@ proptest! {
         let (report_a, report_b) = (run(&trace_a), run(&trace_b));
         prop_assert_eq!(format!("{report_a:?}"), format!("{report_b:?}"));
         prop_assert_eq!(report_a, report_b);
+    }
+
+    /// Insertion-order independence of the fault pipeline (the D1 invariant
+    /// from the *input* side): a hand-placed `FaultPlan` whose events are
+    /// inserted in a shuffled order builds a byte-identical `ChurnTrace`,
+    /// and replaying it yields a byte-identical `ResilienceReport`. Events
+    /// use distinct slots because same-slot ties are defined to keep the
+    /// listed order (stable sort).
+    #[test]
+    fn churn_traces_ignore_event_insertion_order(
+        shuffle_seed in 0u64..5000,
+        run_seed in 0u64..5000,
+    ) {
+        let deployment = GridDeployment::new(4, 4, 200.0).build();
+        let env = RadioEnvironment::builder().build(&deployment);
+        let gateways = deployment.corner_nodes();
+        let demands = DemandVector::from_vec(
+            (0..deployment.len() as u32)
+                .map(|i| u32::from(!gateways.contains(&NodeId::new(i))))
+                .collect(),
+        );
+        let graph = env.communication_graph();
+        let links: Vec<Link> = graph.edges().map(|(u, v)| Link::new(u, v)).collect();
+        let victim_node = NodeId::new(5);
+        let churn_node = NodeId::new(6);
+        let events: Vec<(u64, FaultKind)> = vec![
+            (100, FaultKind::LinkDown(links[0])),
+            (160, FaultKind::NodeDown(victim_node)),
+            (220, FaultKind::FlowStop(churn_node)),
+            (260, FaultKind::Fade { sigma_db: 3.0, seed: 17 }),
+            (300, FaultKind::LinkUp(links[0])),
+            (360, FaultKind::NodeUp(victim_node)),
+            (420, FaultKind::FlowStart(churn_node)),
+        ];
+        let mut shuffled = events.clone();
+        shuffled.shuffle(&mut ChaCha8Rng::seed_from_u64(shuffle_seed));
+        let build = |order: &[(u64, FaultKind)]| {
+            order
+                .iter()
+                .fold(FaultPlan::new(), |plan, &(slot, kind)| plan.at(slot, kind))
+                .build()
+        };
+        let (trace_a, trace_b) = (build(&events), build(&shuffled));
+        prop_assert_eq!(&trace_a, &trace_b);
+        prop_assert_eq!(format!("{trace_a:?}"), format!("{trace_b:?}"));
+
+        let run = |trace: &ChurnTrace| {
+            ResilienceHarness::new(env.clone(), gateways.clone(), demands.clone(), 0.6)
+                .run(trace, 600, run_seed)
+                .expect("the grid world offers traffic over a positive horizon")
+        };
+        let (report_a, report_b) = (run(&trace_a), run(&trace_b));
+        prop_assert_eq!(format!("{report_a:?}"), format!("{report_b:?}"));
+        prop_assert_eq!(report_a, report_b);
+    }
+
+    /// Insertion-order independence of scheduling: shuffling the link list
+    /// fed to `LinkDemands::from_links` changes neither the greedy schedule
+    /// (every `EdgeOrdering`, made total here by distinct heads and distinct
+    /// demands) nor the repaired schedule toward a shifted target.
+    #[test]
+    fn greedy_and_repair_ignore_demand_insertion_order(
+        (nodes, seed) in (8usize..=18, 0u64..5000),
+        shuffle_seed in 0u64..5000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0bad);
+        let side = 140.0 * (nodes as f64).sqrt();
+        let deployment = UniformDeployment::new(nodes, side).build(&mut rng);
+        let env = RadioEnvironment::builder()
+            .propagation(PropagationModel::log_distance(3.0))
+            .build(&deployment);
+        // Unique heads and pairwise-distinct demands: every ordering
+        // criterion is a total order, so identical schedules are byte
+        // reproducible regardless of the input permutation.
+        let links: Vec<(Link, u64)> = (0..nodes as u32 / 2)
+            .map(|i| {
+                (
+                    Link::new(NodeId::new(2 * i + 1), NodeId::new(2 * i)),
+                    10 + 7 * i as u64,
+                )
+            })
+            .collect();
+        let mut shuffled = links.clone();
+        shuffled.shuffle(&mut ChaCha8Rng::seed_from_u64(shuffle_seed));
+        let demands_a = LinkDemands::from_links(nodes, &links).unwrap();
+        let demands_b = LinkDemands::from_links(nodes, &shuffled).unwrap();
+        for ordering in [
+            EdgeOrdering::DecreasingHeadId,
+            EdgeOrdering::IncreasingHeadId,
+            EdgeOrdering::DecreasingDemand,
+            EdgeOrdering::IncreasingDemand,
+        ] {
+            let a = GreedyPhysical::new(ordering).schedule(&env, &demands_a);
+            let b = GreedyPhysical::new(ordering).schedule(&env, &demands_b);
+            prop_assert_eq!(&a, &b, "greedy diverged under ordering {:?}", ordering);
+        }
+        // Repair toward a shifted target (demands scaled, one link dropped)
+        // built from both permutations of the same target list.
+        let schedule = GreedyPhysical::paper_baseline().schedule(&env, &demands_a);
+        let target_links: Vec<(Link, u64)> = links
+            .iter()
+            .skip(1)
+            .map(|&(l, d)| (l, d * 2 - 5))
+            .collect();
+        let mut target_shuffled = target_links.clone();
+        target_shuffled.shuffle(&mut ChaCha8Rng::seed_from_u64(shuffle_seed ^ 0xfee1));
+        let target_a = LinkDemands::from_links(nodes, &target_links).unwrap();
+        let target_b = LinkDemands::from_links(nodes, &target_shuffled).unwrap();
+        let repaired_a = repair_schedule(&env, &schedule, &target_a);
+        let repaired_b = repair_schedule(&env, &schedule, &target_b);
+        prop_assert_eq!(&repaired_a.schedule, &repaired_b.schedule);
+        prop_assert_eq!(repaired_a.outcome, repaired_b.outcome);
+    }
+
+    /// Insertion-order independence of the traffic engine: single-hop flows
+    /// on disjoint links with deterministic arrivals produce the same
+    /// aggregate measurements whatever order the flows are listed in.
+    /// Arrival rates are exact binary fractions so float aggregation cannot
+    /// drift with summation order; `link_loads` keeps first-appearance
+    /// order, so it is compared as a sorted set. (`peak_backlog` is the one
+    /// field excluded: it samples the global in-flight count mid-instant,
+    /// so same-instant event ties can move it by a transient ±1.)
+    #[test]
+    fn traffic_reports_ignore_flow_insertion_order(
+        shuffle_seed in 0u64..5000,
+        flow_count in 3usize..=6,
+    ) {
+        let links: Vec<Link> = (0..flow_count as u32)
+            .map(|i| Link::new(NodeId::new(2 * i + 1), NodeId::new(2 * i)))
+            .collect();
+        // One slot per link, repeating: every flow gets 1/frame service.
+        let schedule = Schedule::from_runs(links.iter().map(|&l| (vec![l], 1)));
+        let arrivals: Vec<(Link, ArrivalProcess)> = links
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                // Distinct exact-binary rates: 1/16, 1/32, 1/64, ...
+                (l, ArrivalProcess::deterministic(1.0 / (16u32 << i) as f64))
+            })
+            .collect();
+        let mut shuffled = arrivals.clone();
+        shuffled.shuffle(&mut ChaCha8Rng::seed_from_u64(shuffle_seed));
+        let run = |order: Vec<(Link, ArrivalProcess)>| {
+            TrafficEngine::on_schedule(
+                &schedule,
+                FlowSet::single_hop(order),
+                TrafficConfig::new(64),
+            )
+            .expect("non-degenerate engine")
+            .run()
+        };
+        let (a, b) = (run(arrivals), run(shuffled));
+        prop_assert_eq!(a.frame_slots, b.frame_slots);
+        prop_assert_eq!(a.horizon_slots, b.horizon_slots);
+        prop_assert_eq!(a.flow_count, b.flow_count);
+        prop_assert_eq!(a.offered_per_slot, b.offered_per_slot);
+        prop_assert_eq!(a.injected, b.injected);
+        prop_assert_eq!(a.delivered, b.delivered);
+        prop_assert_eq!(a.final_backlog, b.final_backlog);
+        prop_assert_eq!(a.sustained_throughput_per_slot, b.sustained_throughput_per_slot);
+        prop_assert_eq!(a.delay, b.delay);
+        prop_assert_eq!(&a.verdict, &b.verdict);
+        let sorted_loads = |r: &TrafficReport| {
+            let mut loads = r.link_loads.clone();
+            loads.sort_by_key(|l| l.link);
+            loads
+        };
+        prop_assert_eq!(sorted_loads(&a), sorted_loads(&b));
     }
 }
