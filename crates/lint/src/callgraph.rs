@@ -1,0 +1,400 @@
+//! **P2** — workspace call graph with panic-reachability.
+//!
+//! Builds a conservative call graph over the symbol tables of every scanned
+//! file, marks functions whose bodies contain an (un-allowed) P1 panic
+//! site, propagates reachability backwards over call edges, and reports the
+//! *public* functions that can transitively reach a panic. The report is a
+//! committed ratchet file (`crates/lint/p2_reach.txt`): CI fails when a new
+//! public API becomes panic-reachable, and `--write-baseline` re-records
+//! the shrinking set.
+//!
+//! Resolution is name-based and deliberately over-approximate:
+//!
+//! * a call edges to every same-crate function of that name (any
+//!   visibility) and every `pub` function of that name in other crates;
+//! * a `Type::name(..)` qualifier narrows the candidates to functions whose
+//!   `impl` owner matches, when any do;
+//! * method calls (`x.name(..)`) match by name alone — receiver types are
+//!   invisible to a lexical scan.
+//!
+//! Over-approximation only ever *adds* entries to the report, so the
+//! ratchet direction is safe: an entry disappearing means the panic became
+//! unreachable under even the pessimistic graph.
+
+use crate::symbols::{FileSymbols, Visibility};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Per-file input to the graph: symbols plus the file's un-allowed P1 panic
+/// lines and the lines targeted by `lint:allow(P2, ..)` directives.
+pub struct FileEntry<'a> {
+    /// Workspace crate the file belongs to (e.g. `netsim`).
+    pub krate: &'a str,
+    /// Workspace-relative path, for locating report entries.
+    pub path: &'a str,
+    pub symbols: &'a FileSymbols,
+    /// Lines of P1 findings that survived `lint:allow` filtering (baselined
+    /// or not — a baselined panic is still a panic at runtime).
+    pub panic_lines: &'a [usize],
+    /// Signature lines excluded from the report by a P2 allow.
+    pub p2_allowed_lines: &'a [usize],
+}
+
+struct Node {
+    krate: String,
+    path: String,
+    line: usize,
+    name: String,
+    owner: Option<String>,
+    visibility: Visibility,
+    direct_panic: bool,
+    p2_allowed: bool,
+}
+
+/// The computed graph and its panic-reachability closure.
+pub struct ReachReport {
+    /// Public functions that transitively reach a panic, as
+    /// `crate::Owner::fn` entries (sorted, deduped, allow-filtered).
+    pub public_reach: BTreeSet<String>,
+    /// Definition site of each report entry, for diagnostics on growth.
+    pub locations: BTreeMap<String, (String, usize)>,
+    /// Total functions in the graph (diagnostic surface for `--json`).
+    pub functions: usize,
+    /// Functions containing a direct panic site.
+    pub direct: usize,
+    /// Functions (any visibility) from which a panic is reachable.
+    pub reachable: usize,
+}
+
+/// Build the workspace call graph and compute the panic-reachability report.
+pub fn analyze(files: &[FileEntry<'_>]) -> ReachReport {
+    // ---- nodes ----
+    let mut nodes: Vec<Node> = Vec::new();
+    // (file index, fn index within file) -> node index, for edge attribution.
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (si, func) in f.symbols.functions.iter().enumerate() {
+            if func.in_test {
+                continue;
+            }
+            let Some(body) = func.body_lines else {
+                continue; // trait signatures: no body, nothing to reach
+            };
+            let direct_panic = f.panic_lines.iter().any(|&l| l >= body.0 && l <= body.1);
+            let p2_allowed = f.p2_allowed_lines.contains(&func.line);
+            node_of.insert((fi, si), nodes.len());
+            nodes.push(Node {
+                krate: f.krate.to_string(),
+                path: f.path.to_string(),
+                line: func.line,
+                name: func.name.clone(),
+                owner: func.owner.clone(),
+                visibility: func.visibility,
+                direct_panic,
+                p2_allowed,
+            });
+        }
+    }
+
+    // ---- name index: callee name -> candidate node indices ----
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (ni, n) in nodes.iter().enumerate() {
+        by_name.entry(n.name.as_str()).or_default().push(ni);
+    }
+
+    // ---- edges (reverse adjacency: callee -> callers) ----
+    let mut callers: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+    for (fi, f) in files.iter().enumerate() {
+        for call in &f.symbols.calls {
+            if call.in_test {
+                continue;
+            }
+            let Some(si) = call.caller else {
+                continue; // top-level (const initializer etc.)
+            };
+            let Some(&caller) = node_of.get(&(fi, si)) else {
+                continue;
+            };
+            let Some(candidates) = by_name.get(call.callee.as_str()) else {
+                continue; // std / external — not in the workspace graph
+            };
+            let visible: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&ni| {
+                    nodes[ni].krate == f.krate || nodes[ni].visibility == Visibility::Public
+                })
+                .collect();
+            // A `Type::name(..)` qualifier narrows to owner-matching fns
+            // when any exist; otherwise stay conservative.
+            let narrowed: Vec<usize> = match &call.qualifier {
+                Some(q) => {
+                    let owned: Vec<usize> = visible
+                        .iter()
+                        .copied()
+                        .filter(|&ni| nodes[ni].owner.as_deref() == Some(q.as_str()))
+                        .collect();
+                    if owned.is_empty() {
+                        visible
+                    } else {
+                        owned
+                    }
+                }
+                None => visible,
+            };
+            for callee in narrowed {
+                callers[callee].insert(caller);
+            }
+        }
+    }
+
+    // ---- reachability: reverse BFS from direct-panic nodes ----
+    let mut reach = vec![false; nodes.len()];
+    let mut queue: Vec<usize> = (0..nodes.len())
+        .filter(|&ni| nodes[ni].direct_panic)
+        .collect();
+    for &ni in &queue {
+        reach[ni] = true;
+    }
+    while let Some(ni) = queue.pop() {
+        for &caller in &callers[ni] {
+            if !reach[caller] {
+                reach[caller] = true;
+                queue.push(caller);
+            }
+        }
+    }
+
+    let mut public_reach = BTreeSet::new();
+    let mut locations = BTreeMap::new();
+    for (ni, n) in nodes.iter().enumerate() {
+        if reach[ni] && n.visibility == Visibility::Public && !n.p2_allowed {
+            let owner = n
+                .owner
+                .as_ref()
+                .map(|o| format!("{o}::"))
+                .unwrap_or_default();
+            let entry = format!("{}::{owner}{}", n.krate, n.name);
+            locations
+                .entry(entry.clone())
+                .or_insert((n.path.clone(), n.line));
+            public_reach.insert(entry);
+        }
+    }
+
+    ReachReport {
+        public_reach,
+        locations,
+        functions: nodes.len(),
+        direct: nodes.iter().filter(|n| n.direct_panic).count(),
+        reachable: reach.iter().filter(|&&r| r).count(),
+    }
+}
+
+/// Load a committed reach report: one `crate::Owner::fn` entry per line,
+/// `#` comments and blanks ignored. Missing file → empty set.
+pub fn load_reach(path: &Path) -> BTreeSet<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeSet::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Write the reach report in its committed format.
+pub fn save_reach(path: &Path, entries: &BTreeSet<String>) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("# scream-lint P2 panic-reachability report. One public fn per line that\n");
+    out.push_str("# can transitively reach a P1 panic site. Ratchet-down only: regenerate\n");
+    out.push_str("# with `scream-lint --write-baseline` after removing panics.\n");
+    for e in entries {
+        out.push_str(e);
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{scan_source, RuleCode, ScanPolicy};
+    use crate::symbols::index_source;
+
+    const POLICY: ScanPolicy = ScanPolicy {
+        hash_iter: true,
+        wall_clock: true,
+        float_eq: false,
+        units: false,
+    };
+
+    fn panic_lines(path: &str, src: &str) -> Vec<usize> {
+        scan_source(path, src, POLICY)
+            .into_iter()
+            .filter(|d| d.rule == RuleCode::P1Panic)
+            .map(|d| d.line)
+            .collect()
+    }
+
+    fn entries(files: &[(&str, &str)]) -> BTreeSet<String> {
+        let syms: Vec<_> = files.iter().map(|(_, src)| index_source(src)).collect();
+        let panics: Vec<Vec<usize>> = files
+            .iter()
+            .map(|(k, src)| panic_lines(&format!("crates/{k}/src/lib.rs"), src))
+            .collect();
+        let fes: Vec<FileEntry> = files
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| FileEntry {
+                krate: k,
+                path: "crates/x/src/lib.rs",
+                symbols: &syms[i],
+                panic_lines: &panics[i],
+                p2_allowed_lines: &[],
+            })
+            .collect();
+        analyze(&fes).public_reach
+    }
+
+    #[test]
+    fn direct_and_transitive_reach_through_free_fns() {
+        let src = r#"
+fn deep(x: Option<u32>) -> u32 { x.unwrap() }
+pub fn middle(x: Option<u32>) -> u32 { deep(x) }
+pub fn safe() -> u32 { 1 }
+"#;
+        let got = entries(&[("core", src)]);
+        assert_eq!(
+            got.into_iter().collect::<Vec<_>>(),
+            vec!["core::middle".to_string()],
+            "private `deep` is not reported; `safe` does not reach"
+        );
+    }
+
+    #[test]
+    fn method_calls_reach_through_impl_blocks() {
+        let src = r#"
+pub struct Sched;
+impl Sched {
+    fn slot_of(&self, i: usize) -> usize {
+        if i > 10 { panic!("out of range"); }
+        i
+    }
+    pub fn build(&self) -> usize { self.slot_of(3) }
+}
+"#;
+        let got = entries(&[("sched", src)]);
+        assert_eq!(
+            got.into_iter().collect::<Vec<_>>(),
+            vec!["sched::Sched::build".to_string()]
+        );
+    }
+
+    #[test]
+    fn cross_crate_edges_require_pub() {
+        let lib = r#"
+pub fn pub_panics(x: Option<u32>) -> u32 { x.unwrap() }
+fn private_panics(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+        let app = r#"
+pub fn uses_pub(x: Option<u32>) -> u32 { pub_panics(x) }
+pub fn uses_private_name(x: Option<u32>) -> u32 { private_panics(x) }
+"#;
+        let got = entries(&[("netsim", lib), ("app", app)]);
+        let got: Vec<_> = got.into_iter().collect();
+        assert!(got.contains(&"netsim::pub_panics".to_string()));
+        assert!(got.contains(&"app::uses_pub".to_string()));
+        assert!(
+            !got.contains(&"app::uses_private_name".to_string()),
+            "a private fn in another crate is not callable: {got:?}"
+        );
+    }
+
+    #[test]
+    fn recursion_cycles_terminate_and_propagate() {
+        let src = r#"
+pub fn ping(n: u32) -> u32 { if n == 0 { boom() } else { pong(n - 1) } }
+pub fn pong(n: u32) -> u32 { ping(n) }
+fn boom() -> u32 { panic!("base case") }
+"#;
+        let got = entries(&[("core", src)]);
+        let got: Vec<_> = got.into_iter().collect();
+        assert_eq!(
+            got,
+            vec!["core::ping".to_string(), "core::pong".to_string()]
+        );
+    }
+
+    #[test]
+    fn qualifier_narrows_to_the_owning_impl() {
+        let src = r#"
+pub struct A;
+pub struct B;
+impl A {
+    pub fn make() -> u32 { panic!("A::make panics") }
+}
+impl B {
+    pub fn make() -> u32 { 1 }
+}
+pub fn build_b() -> u32 { B::make() }
+pub fn build_a() -> u32 { A::make() }
+"#;
+        let got = entries(&[("core", src)]);
+        let got: Vec<_> = got.into_iter().collect();
+        assert!(got.contains(&"core::A::make".to_string()));
+        assert!(got.contains(&"core::build_a".to_string()));
+        assert!(
+            !got.contains(&"core::build_b".to_string()),
+            "the `B::` qualifier resolves away from A::make: {got:?}"
+        );
+    }
+
+    #[test]
+    fn test_code_creates_no_edges_or_nodes() {
+        let src = r#"
+pub fn clean() -> u32 { 1 }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        clean();
+        Some(1u32).unwrap();
+    }
+}
+"#;
+        assert!(entries(&[("core", src)]).is_empty());
+    }
+
+    #[test]
+    fn p2_allow_excludes_the_fn_from_the_report() {
+        let src = r#"
+pub fn documented_panic(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+        let syms = index_source(src);
+        let panics = panic_lines("crates/core/src/lib.rs", src);
+        let allowed = vec![2usize]; // the `pub fn` line
+        let fe = FileEntry {
+            krate: "core",
+            path: "crates/core/src/lib.rs",
+            symbols: &syms,
+            panic_lines: &panics,
+            p2_allowed_lines: &allowed,
+        };
+        assert!(analyze(&[fe]).public_reach.is_empty());
+    }
+
+    #[test]
+    fn reach_file_round_trips() {
+        let dir = std::env::temp_dir().join("scream_lint_p2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p2_reach.txt");
+        let mut set = BTreeSet::new();
+        set.insert("core::Runtime::run".to_string());
+        set.insert("netsim::dbm_to_mw".to_string());
+        save_reach(&path, &set).unwrap();
+        assert_eq!(load_reach(&path), set);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

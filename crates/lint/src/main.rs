@@ -1,7 +1,9 @@
 //! CLI for the workspace static-analysis pass. See the library docs and the
 //! README "Static analysis" section for the rule table.
 
-use scream_lint::{default_baseline_path, find_workspace_root, lint_workspace, Config, Report};
+use scream_lint::{
+    default_baseline_path, default_reach_path, find_workspace_root, lint_workspace, Config, Report,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -14,7 +16,8 @@ USAGE:
 OPTIONS:
     --root <PATH>        workspace root (default: walk up to [workspace])
     --baseline <PATH>    P1 baseline file (default: crates/lint/p1_baseline.txt)
-    --write-baseline     regenerate the P1 baseline from current counts
+    --reach <PATH>       P2 reach report (default: crates/lint/p2_reach.txt)
+    --write-baseline     regenerate the P1 baseline and P2 reach report
     --deny[=RULE]        treat all rules (or one family/code) as errors
     --warn[=RULE]        treat all rules (or one family/code) as warnings
     --json               machine-readable output
@@ -28,6 +31,10 @@ RULES:
     H1.alloc  ledger/accumulator construction inside loop bodies
     F1.cmp    partial_cmp(..).unwrap() — use total_cmp
     F1.eq     exact float comparison in verdict code (warn by default)
+    U1.mix    cross-unit arithmetic/comparison (a_db + b_mw, x_m <= y_m2)
+    U1.bind   cross-unit binding/assignment (let range_m = area_m2)
+    U1.conv   suffix-dishonest conversion call (dbm_to_mw(-loss_db))
+    P2.reach  new public API transitively reaches a panic (ratchet)
     L1.*      malformed or unused lint:allow directives
 
 Suppress a finding with a justified inline comment:
@@ -42,6 +49,7 @@ struct Args {
 fn parse_args() -> Result<Option<Args>, String> {
     let mut root: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
+    let mut reach: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut json = false;
     let mut overrides: Vec<(Option<String>, bool)> = Vec::new();
@@ -62,6 +70,10 @@ fn parse_args() -> Result<Option<Args>, String> {
                 Some(p) => baseline = Some(PathBuf::from(p)),
                 None => return Err("--baseline requires a path".to_string()),
             },
+            "--reach" => match argv.next() {
+                Some(p) => reach = Some(PathBuf::from(p)),
+                None => return Err("--reach requires a path".to_string()),
+            },
             other => {
                 if let Some(rule) = other.strip_prefix("--deny=") {
                     overrides.push((Some(rule.to_string()), true));
@@ -71,6 +83,8 @@ fn parse_args() -> Result<Option<Args>, String> {
                     root = Some(PathBuf::from(path));
                 } else if let Some(path) = other.strip_prefix("--baseline=") {
                     baseline = Some(PathBuf::from(path));
+                } else if let Some(path) = other.strip_prefix("--reach=") {
+                    reach = Some(PathBuf::from(path));
                 } else {
                     return Err(format!("unknown argument `{other}` (see --help)"));
                 }
@@ -88,10 +102,12 @@ fn parse_args() -> Result<Option<Args>, String> {
         }
     };
     let baseline_path = baseline.unwrap_or_else(|| default_baseline_path(&root));
+    let reach_path = reach.unwrap_or_else(|| default_reach_path(&root));
     Ok(Some(Args {
         config: Config {
             root,
             baseline_path,
+            reach_path,
             write_baseline,
             class_overrides: overrides,
         },
@@ -141,18 +157,40 @@ fn print_json(report: &Report) {
             )
         })
         .collect();
+    let p2_violations: Vec<String> = report
+        .p2_violations
+        .iter()
+        .map(|(entry, path, line)| {
+            format!(
+                "{{\"entry\":\"{}\",\"path\":\"{}\",\"line\":{line}}}",
+                json_escape(entry),
+                json_escape(path),
+            )
+        })
+        .collect();
+    let p2_entries: Vec<String> = report
+        .p2_entries
+        .iter()
+        .map(|e| format!("\"{}\"", json_escape(e)))
+        .collect();
     println!(
         "{{\"files_scanned\":{},\"deny\":{},\"warn\":{},\"p1_current\":{},\
-         \"p1_baseline\":{},\"baseline_written\":{},\"failed\":{},\
-         \"baseline_violations\":[{}],\"diagnostics\":[{}]}}",
+         \"p1_baseline\":{},\"p2_current\":{},\"p2_committed\":{},\
+         \"baseline_written\":{},\"failed\":{},\
+         \"baseline_violations\":[{}],\"p2_violations\":[{}],\
+         \"p2_entries\":[{}],\"diagnostics\":[{}]}}",
         report.files_scanned,
         report.deny_count(),
         report.warn_count(),
         report.p1_current,
         report.p1_baseline,
+        report.p2_entries.len(),
+        report.p2_committed,
         report.baseline_written,
         report.failed(),
         violations.join(","),
+        p2_violations.join(","),
+        p2_entries.join(","),
         items.join(",")
     );
 }
@@ -175,14 +213,22 @@ fn print_text(report: &Report) {
             v.path, v.current, v.allowed
         );
     }
+    for (entry, path, line) in &report.p2_violations {
+        println!(
+            "{path}:{line}: error P2.reach: public `{entry}` now transitively reaches a \
+             panic site — remove the panic, drop `pub`, or justify with lint:allow(P2, ..)"
+        );
+    }
     println!(
         "scream-lint: {} files scanned, {} errors, {} warnings; P1 sites {} \
-         (baseline {}{})",
+         (baseline {}); P2 panic-reachable public fns {} (committed {}{})",
         report.files_scanned,
-        report.deny_count() + report.baseline_violations.len(),
+        report.deny_count() + report.baseline_violations.len() + report.p2_violations.len(),
         report.warn_count(),
         report.p1_current,
         report.p1_baseline,
+        report.p2_entries.len(),
+        report.p2_committed,
         if report.baseline_written {
             ", rewritten"
         } else {
@@ -194,6 +240,14 @@ fn print_text(report: &Report) {
             "note: P1 total dropped below the baseline ({} < {}); run with \
              --write-baseline to ratchet down",
             report.p1_current, report.p1_baseline
+        );
+    }
+    if report.p2_entries.len() < report.p2_committed && !report.baseline_written {
+        println!(
+            "note: P2 reach set shrank below the committed report ({} < {}); run with \
+             --write-baseline to ratchet down",
+            report.p2_entries.len(),
+            report.p2_committed
         );
     }
 }

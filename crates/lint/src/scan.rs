@@ -25,6 +25,14 @@ pub enum RuleCode {
     F1Cmp,
     /// `==`/`!=` against a float literal in verdict code.
     F1Eq,
+    /// Cross-unit arithmetic/comparison (`a_db + b_mw`).
+    U1Mix,
+    /// Cross-unit binding/assignment (`let range_m = area_m2`).
+    U1Bind,
+    /// Suffix-dishonest conversion call (`dbm_to_mw(-loss_db)`).
+    U1Conv,
+    /// Public API transitively reaches a panic site (ratchet growth).
+    P2Reach,
     /// Malformed or unknown `lint:allow` directive.
     L1Allow,
     /// Well-formed `lint:allow` that suppresses nothing.
@@ -41,6 +49,10 @@ impl RuleCode {
             RuleCode::H1Alloc => "H1.alloc",
             RuleCode::F1Cmp => "F1.cmp",
             RuleCode::F1Eq => "F1.eq",
+            RuleCode::U1Mix => "U1.mix",
+            RuleCode::U1Bind => "U1.bind",
+            RuleCode::U1Conv => "U1.conv",
+            RuleCode::P2Reach => "P2.reach",
             RuleCode::L1Allow => "L1.allow",
             RuleCode::L1Unused => "L1.unused",
         }
@@ -52,6 +64,8 @@ impl RuleCode {
             RuleCode::P1Panic => "P1",
             RuleCode::H1Hot | RuleCode::H1Alloc => "H1",
             RuleCode::F1Cmp | RuleCode::F1Eq => "F1",
+            RuleCode::U1Mix | RuleCode::U1Bind | RuleCode::U1Conv => "U1",
+            RuleCode::P2Reach => "P2",
             RuleCode::L1Allow | RuleCode::L1Unused => "L1",
         }
     }
@@ -68,6 +82,8 @@ impl RuleCode {
             "D1" | "P1"
                 | "H1"
                 | "F1"
+                | "U1"
+                | "P2"
                 | "D1.iter"
                 | "D1.clock"
                 | "P1.panic"
@@ -75,7 +91,18 @@ impl RuleCode {
                 | "H1.alloc"
                 | "F1.cmp"
                 | "F1.eq"
+                | "U1.mix"
+                | "U1.bind"
+                | "U1.conv"
+                | "P2.reach"
         )
+    }
+
+    /// Whether `name` (a directive rule name) belongs to the P2 family.
+    /// P2 allows target the reachability *report*, not token diagnostics,
+    /// so they are exempt from `L1.unused`.
+    pub fn is_p2_name(name: &str) -> bool {
+        name == "P2" || name == "P2.reach"
     }
 }
 
@@ -101,6 +128,8 @@ pub struct ScanPolicy {
     pub wall_clock: bool,
     /// F1.eq — float-literal equality (verdict-producing crates only).
     pub float_eq: bool,
+    /// U1 — unit-suffix hygiene (all crates).
+    pub units: bool,
 }
 
 const HASH_ITER_METHODS: &[&str] = &[
@@ -125,19 +154,19 @@ const ACCUMULATOR_OPENERS: &[&str] = &[
 const LEDGER_TYPES: &[&str] = &["SlotLedger", "ChannelSlotLedger"];
 
 #[derive(Debug, Clone, PartialEq)]
-enum Tok {
+pub(crate) enum Tok {
     Ident(String),
     Punct(char),
     Num { float: bool },
 }
 
 #[derive(Debug, Clone)]
-struct Token {
-    line: usize,
-    tok: Tok,
+pub(crate) struct Token {
+    pub(crate) line: usize,
+    pub(crate) tok: Tok,
 }
 
-fn tokenize(text: &str) -> Vec<Token> {
+pub(crate) fn tokenize(text: &str) -> Vec<Token> {
     let chars: Vec<char> = text.chars().collect();
     let n = chars.len();
     let mut toks = Vec::new();
@@ -205,9 +234,9 @@ fn tokenize(text: &str) -> Vec<Token> {
 
 /// Lexical context of each token: loop depth and test-region membership.
 #[derive(Debug, Clone, Copy, Default)]
-struct Ctx {
-    loop_depth: u32,
-    in_test: bool,
+pub(crate) struct Ctx {
+    pub(crate) loop_depth: u32,
+    pub(crate) in_test: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -217,14 +246,14 @@ enum Frame {
     Other,
 }
 
-fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+pub(crate) fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
     match toks.get(i).map(|t| &t.tok) {
         Some(Tok::Ident(s)) => Some(s.as_str()),
         _ => None,
     }
 }
 
-fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+pub(crate) fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
     matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
 }
 
@@ -234,7 +263,7 @@ fn float_at(toks: &[Token], i: usize) -> bool {
 
 /// Is the `for` at index `i` a loop header (vs `impl Trait for T`, HRTB
 /// `for<'a>`, or `match` arms)?
-fn is_loop_for(toks: &[Token], i: usize) -> bool {
+pub(crate) fn is_loop_for(toks: &[Token], i: usize) -> bool {
     if punct_at(toks, i + 1, '<') {
         return false; // `for<'a>` higher-ranked bound
     }
@@ -253,7 +282,7 @@ fn is_loop_for(toks: &[Token], i: usize) -> bool {
 }
 
 /// One pass of brace/attribute tracking, yielding per-token context.
-fn contexts(toks: &[Token]) -> Vec<Ctx> {
+pub(crate) fn contexts(toks: &[Token]) -> Vec<Ctx> {
     let mut out = Vec::with_capacity(toks.len());
     let mut stack: Vec<Frame> = Vec::new();
     let mut loop_depth = 0u32;
@@ -412,11 +441,27 @@ fn collect_hash_idents(toks: &[Token], ctx: &[Ctx]) -> BTreeSet<String> {
     names
 }
 
+/// Everything one file contributes to the workspace report: allow-filtered
+/// diagnostics plus the inputs the P2 call-graph pass needs.
+pub struct FileScan {
+    pub diagnostics: Vec<Diagnostic>,
+    pub symbols: crate::symbols::FileSymbols,
+    /// Lines of P1 findings that survived allow filtering (pre-baseline).
+    pub panic_lines: Vec<usize>,
+    /// Lines targeted by `lint:allow(P2, ..)` directives.
+    pub p2_allowed_lines: Vec<usize>,
+}
+
 /// Scan one scrubbed+tokenized file and return allow-filtered diagnostics.
 ///
 /// P1 findings are included un-baselined; the caller applies the per-file
 /// baseline ratchet.
 pub fn scan_source(path: &str, src: &str, policy: ScanPolicy) -> Vec<Diagnostic> {
+    scan_file(path, src, policy).diagnostics
+}
+
+/// Full per-file scan: diagnostics + symbol table + P2 inputs.
+pub fn scan_file(path: &str, src: &str, policy: ScanPolicy) -> FileScan {
     let scrubbed = scrub(src);
     let toks = tokenize(&scrubbed.text);
     let ctx = contexts(&toks);
@@ -720,17 +765,35 @@ pub fn scan_source(path: &str, src: &str, policy: ScanPolicy) -> Vec<Diagnostic>
         }
     }
 
-    apply_allows(path, &scrubbed.text, &scrubbed.allows, diags)
+    let symbols = crate::symbols::index_tokens(&toks);
+    if policy.units {
+        crate::units::scan_units(path, &toks, &ctx, &symbols, &mut diags);
+    }
+
+    let (diagnostics, p2_allowed_lines) =
+        apply_allows(path, &scrubbed.text, &scrubbed.allows, diags);
+    let panic_lines = diagnostics
+        .iter()
+        .filter(|d| d.rule == RuleCode::P1Panic)
+        .map(|d| d.line)
+        .collect();
+    FileScan {
+        diagnostics,
+        symbols,
+        panic_lines,
+        p2_allowed_lines,
+    }
 }
 
 /// Resolve allow directives against raw diagnostics; emit L1 findings for
-/// malformed, unknown and unused directives.
+/// malformed, unknown and unused directives. Also returns the target lines
+/// of P2-family directives (consumed by the call-graph pass).
 fn apply_allows(
     path: &str,
     scrubbed_text: &str,
     allows: &[AllowDirective],
     diags: Vec<Diagnostic>,
-) -> Vec<Diagnostic> {
+) -> (Vec<Diagnostic>, Vec<usize>) {
     // Per-line "carries code" map for standalone-directive targeting.
     let line_has_code: Vec<bool> = scrubbed_text
         .split('\n')
@@ -747,6 +810,7 @@ fn apply_allows(
 
     let mut out: Vec<Diagnostic> = Vec::new();
     let mut used = vec![false; allows.len()];
+    let mut p2_lines: Vec<usize> = Vec::new();
     // (target_line, allow index) for well-formed directives.
     let mut targets: Vec<(usize, usize)> = Vec::new();
     for (ai, d) in allows.iter().enumerate() {
@@ -779,6 +843,12 @@ fn apply_allows(
             continue;
         }
         if let Some(line) = target_of(d) {
+            // P2 allows act on the reachability report, not on token
+            // diagnostics — record the target and exempt from L1.unused.
+            if d.rules.iter().any(|r| RuleCode::is_p2_name(r)) {
+                p2_lines.push(line);
+                used[ai] = true;
+            }
             targets.push((line, ai));
         }
     }
@@ -822,7 +892,9 @@ fn apply_allows(
 
     out.sort();
     out.dedup();
-    out
+    p2_lines.sort_unstable();
+    p2_lines.dedup();
+    (out, p2_lines)
 }
 
 #[cfg(test)]
@@ -833,6 +905,7 @@ mod tests {
         hash_iter: true,
         wall_clock: true,
         float_eq: true,
+        units: true,
     };
 
     fn codes(src: &str) -> Vec<&'static str> {

@@ -37,6 +37,9 @@ fn workspace_is_clean_under_bare_deny() {
             v.path, v.current, v.allowed
         )
     }));
+    lines.extend(report.p2_violations.iter().map(|(entry, path, line)| {
+        format!("{path}:{line}: P2.reach: public `{entry}` reaches a panic")
+    }));
     assert!(
         !report.failed() && lines.is_empty(),
         "scream-lint --deny must pass on the workspace, found:\n{}",
@@ -52,5 +55,19 @@ fn p1_baseline_matches_current_count() {
     assert_eq!(
         report.p1_current, report.p1_baseline,
         "committed P1 baseline is stale; run `cargo run -p scream-lint -- --write-baseline`"
+    );
+}
+
+#[test]
+fn p2_reach_report_matches_current_graph() {
+    // Same invariant for the reach report: the committed `p2_reach.txt`
+    // is exactly the current panic-reachable public API set — growth is a
+    // gate failure, shrinkage means the file is stale.
+    let cfg = workspace_config();
+    let report = lint_workspace(&cfg).expect("workspace scan is readable");
+    let committed = scream_lint::callgraph::load_reach(&cfg.reach_path);
+    assert_eq!(
+        report.p2_entries, committed,
+        "committed p2_reach.txt is stale; run `cargo run -p scream-lint -- --write-baseline`"
     );
 }

@@ -18,7 +18,7 @@ use scream_topology::{Deployment, Graph, GraphKind, Link, NodeId, Point2};
 
 use crate::error::NetsimError;
 use crate::propagation::{GainProfile, PropagationModel, ShadowingField};
-use crate::radio::{dbm_to_mw, mw_to_dbm, RadioConfig};
+use crate::radio::{db_to_linear, mw_to_dbm, RadioConfig};
 use crate::spatial::SpatialGrid;
 
 /// Immutable physical-layer state of a deployed mesh: per-pair channel
@@ -151,7 +151,7 @@ impl RadioEnvironment {
                 let shadow_db = shadowing.shadow_db(i, j);
                 max_shadow_db = max_shadow_db.max(-shadow_db);
                 let loss_db = self.propagation.path_loss_db(dist) + shadow_db;
-                gains[i * n + j] = dbm_to_mw(-loss_db);
+                gains[i * n + j] = db_to_linear(-loss_db);
             }
         }
         RadioEnvironment {
@@ -230,7 +230,7 @@ impl RadioEnvironment {
         // the dense matrix's `powf` chain.
         let unit_mw = self.max_tx_power_mw
             * self.gain_profile.gain_from_distance_squared(cutoff_sq_m2)
-            * dbm_to_mw(self.max_shadow_db)
+            * db_to_linear(self.max_shadow_db)
             * (1.0 + 1e-6);
         FarField {
             cutoff_m,
@@ -465,7 +465,7 @@ impl RadioEnvironment {
                     }
                     let v = NodeId::new(jv);
                     if self.handshake_ok(Link::new(u, v), &[]) {
-                        g.add_edge(u, v).expect("indices in range by construction");
+                        g.add_edge_unchecked(u, v);
                     }
                 }
             }
@@ -475,7 +475,7 @@ impl RadioEnvironment {
                     let u = NodeId::new(i as u32);
                     let v = NodeId::new(j as u32);
                     if self.handshake_ok(Link::new(u, v), &[]) {
-                        g.add_edge(u, v).expect("indices in range by construction");
+                        g.add_edge_unchecked(u, v);
                     }
                 }
             }
@@ -506,7 +506,7 @@ impl RadioEnvironment {
                     }
                     let v = NodeId::new(jv);
                     if self.carrier_sense(v, &[u]) {
-                        g.add_edge(u, v).expect("indices in range by construction");
+                        g.add_edge_unchecked(u, v);
                     }
                 }
             }
@@ -519,7 +519,7 @@ impl RadioEnvironment {
                     let u = NodeId::new(i as u32);
                     let v = NodeId::new(j as u32);
                     if self.carrier_sense(v, &[u]) {
-                        g.add_edge(u, v).expect("indices in range by construction");
+                        g.add_edge_unchecked(u, v);
                     }
                 }
             }
@@ -637,7 +637,7 @@ impl RadioEnvironmentBuilder {
                     // boost for the conservative far-field and range bounds.
                     max_shadow_db = max_shadow_db.max(-shadow_db);
                     let loss_db = self.propagation.path_loss_db(dist) + shadow_db;
-                    gains[i * n + j] = dbm_to_mw(-loss_db);
+                    gains[i * n + j] = db_to_linear(-loss_db);
                 }
             }
             gains
@@ -1048,7 +1048,7 @@ mod tests {
             assert_eq!(xs[i as usize], p.x);
             assert_eq!(ys[i as usize], p.y);
         }
-        assert_eq!(e.max_tx_power_mw(), dbm_to_mw(20.0));
+        assert_eq!(e.max_tx_power_mw(), crate::radio::dbm_to_mw(20.0));
     }
 
     #[test]

@@ -168,6 +168,24 @@ pub fn mw_to_dbm(mw: f64) -> f64 {
     }
 }
 
+/// Converts a relative dB quantity (path loss, fading margin, gain) to the
+/// equivalent linear power *ratio*. Numerically identical to [`dbm_to_mw`],
+/// but dimensionally distinct: dB is a ratio, dBm an absolute power. Use
+/// this for `-loss_db`-style arguments so the units stay honest.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to relative dB. Non-positive ratios map to
+/// negative infinity, mirroring [`mw_to_dbm`].
+pub fn linear_to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * ratio.log10()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +204,39 @@ mod tests {
             (mw_to_dbm(c.carrier_sense_threshold_mw()) - c.carrier_sense_threshold_dbm).abs()
                 < 1e-9
         );
+    }
+
+    mod conversion_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// dBm↔mW round-trips: the refactor that introduced the
+            /// dB-ratio helpers must keep the absolute-power pair exact.
+            #[test]
+            fn dbm_mw_round_trip(x in -120.0f64..60.0) {
+                let back = mw_to_dbm(dbm_to_mw(x));
+                prop_assert!((back - x).abs() < 1e-9, "{x} -> {back}");
+            }
+
+            /// `db_to_linear` is numerically identical to `dbm_to_mw` (the
+            /// distinction is dimensional, not arithmetic), so migrating
+            /// `dbm_to_mw(-loss_db)` call sites is behavior-preserving.
+            #[test]
+            fn db_to_linear_matches_dbm_to_mw(x in -200.0f64..60.0) {
+                prop_assert_eq!(db_to_linear(x).to_bits(), dbm_to_mw(x).to_bits());
+            }
+
+            /// And the inverse pair agrees wherever both are defined.
+            #[test]
+            fn linear_to_db_matches_mw_to_dbm(r in 1e-20f64..1e6) {
+                prop_assert_eq!(linear_to_db(r).to_bits(), mw_to_dbm(r).to_bits());
+                let back = db_to_linear(linear_to_db(r));
+                prop_assert!((back - r).abs() <= 1e-9 * r, "{r} -> {back}");
+            }
+        }
     }
 
     #[test]

@@ -74,6 +74,24 @@ impl Deployment {
         })
     }
 
+    /// Constructor for the workspace builders ([`GridDeployment`],
+    /// [`UniformDeployment`]) that assign ids `0..n` themselves: the
+    /// contiguity [`Self::from_nodes`] re-validates holds by construction, so
+    /// the fallible path would only add an `expect` on an impossible error
+    /// (P1). The invariants are checked in debug builds instead.
+    fn from_contiguous_nodes(nodes: Vec<NodeInfo>, region: Rect, kind: DeploymentKind) -> Self {
+        debug_assert!(!nodes.is_empty(), "builders emit at least one node");
+        debug_assert!(
+            nodes.iter().enumerate().all(|(i, n)| n.id.index() == i),
+            "builders assign contiguous ids 0..n"
+        );
+        Self {
+            nodes,
+            region,
+            kind,
+        }
+    }
+
     /// Builds a custom deployment from bare positions, all with the same
     /// transmit power. Useful for tests and hand-crafted counterexamples.
     pub fn from_positions(
@@ -318,8 +336,7 @@ impl GridDeployment {
                 (self.rows - 1) as f64 * self.step_m,
             ),
         );
-        Deployment::from_nodes(nodes, region, DeploymentKind::Grid)
-            .expect("grid construction always yields valid contiguous ids")
+        Deployment::from_contiguous_nodes(nodes, region, DeploymentKind::Grid)
     }
 }
 
@@ -393,8 +410,7 @@ impl UniformDeployment {
                 NodeInfo::new(NodeId::new(i as u32), pos, power)
             })
             .collect();
-        Deployment::from_nodes(nodes, Rect::square(side), DeploymentKind::UniformRandom)
-            .expect("uniform construction always yields valid contiguous ids")
+        Deployment::from_contiguous_nodes(nodes, Rect::square(side), DeploymentKind::UniformRandom)
     }
 
     /// Builds deployments until one whose unit-disk graph at `range_m` is

@@ -85,6 +85,20 @@ impl Graph {
         Ok(())
     }
 
+    /// Adds an edge whose endpoints the caller guarantees are in range, e.g.
+    /// builders iterating node indices `0..n` of this very graph. Public
+    /// counterpart of [`Self::insert_edge`] for those callers, so in-range
+    /// insertion does not force an `expect` on an error that cannot occur
+    /// (P1). Out-of-range endpoints are a caller bug, checked in debug builds.
+    pub fn add_edge_unchecked(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(
+            u.index() < self.node_count() && v.index() < self.node_count(),
+            "add_edge_unchecked endpoints out of range: ({u}, {v}) with {} nodes",
+            self.node_count()
+        );
+        self.insert_edge(u, v);
+    }
+
     /// Edge insertion for callers that guarantee both endpoints are in range
     /// (pruned copies, transposes, builders iterating `0..n`). Keeps the
     /// duplicate/self-loop handling of [`Self::add_edge`] without forcing an

@@ -275,9 +275,11 @@ impl RoutingForest {
             let next_frontier: Vec<NodeId> = candidates.keys().copied().collect();
             for &v in &next_frontier {
                 let parents = &candidates[&v];
-                let &chosen = parents
-                    .choose(&mut rng)
-                    .expect("candidate list is non-empty by construction");
+                // Candidate lists are created non-empty (entry().push() above);
+                // an empty one would just leave `v` to the unreachable check.
+                let Some(&chosen) = parents.choose(&mut rng) else {
+                    continue;
+                };
                 parent[v.index()] = Some(chosen);
                 depth[v.index()] = level;
                 root[v.index()] = root[chosen.index()];
