@@ -275,6 +275,7 @@ impl DistributedScheduler {
                 stats.scream_invocations += 1;
                 if vetoed {
                     stats.vetoes += 1;
+                    scream_obs::counter_add("runtime.vetoes", 1);
                 }
                 for (idx, &i) in actives.iter().enumerate() {
                     match probe.assignments[idx] {
@@ -316,8 +317,14 @@ impl DistributedScheduler {
                 let i = link.head.index();
                 remaining[i] = remaining[i].saturating_sub(1);
             }
+            let sealed_links = entries.len() as u64;
             schedule.push_pattern_run(SlotPattern::from_entries(entries), 1);
             stats.rounds += 1;
+            scream_obs::set_round(stats.rounds);
+            scream_obs::set_slot(schedule.length() as u64);
+            scream_obs::counter_add("runtime.rounds", 1);
+            scream_obs::counter_add("runtime.claims", sealed_links);
+            scream_obs::event("runtime.round", &[("claims", sealed_links)]);
 
             // Control-release check: the controller screams iff its demand is
             // now satisfied, releasing control for the next round.
@@ -494,6 +501,7 @@ impl DistributedScheduler {
                 stats.scream_invocations += 1;
                 if vetoed {
                     stats.vetoes += 1;
+                    scream_obs::counter_add("runtime.vetoes", 1);
                 }
                 for (idx, &i) in actives.iter().enumerate() {
                     if vetoed || !probe.tentative_ok[idx] {
@@ -524,8 +532,14 @@ impl DistributedScheduler {
                 let i = link.head.index();
                 remaining[i] = remaining[i].saturating_sub(1);
             }
+            let sealed_links = slot_links.len() as u64;
             schedule.push_slot(slot_links);
             stats.rounds += 1;
+            scream_obs::set_round(stats.rounds);
+            scream_obs::set_slot(schedule.length() as u64);
+            scream_obs::counter_add("runtime.rounds", 1);
+            scream_obs::counter_add("runtime.claims", sealed_links);
+            scream_obs::event("runtime.round", &[("claims", sealed_links)]);
 
             // Control-release check: the controller screams iff its demand is
             // now satisfied, releasing control for the next round.
@@ -640,6 +654,7 @@ fn charge_channel_announcement(
     }
     timing.add_scream_slots(bits * channel.scream_slots() as u64);
     stats.scream_invocations += bits;
+    scream_obs::counter_add("runtime.announcement_bits", bits);
 }
 
 /// The result of one distributed scheduling run.

@@ -228,6 +228,7 @@ mod tests {
         wall_clock: true,
         float_eq: false,
         units: false,
+        obs_sink: false,
     };
 
     fn panic_lines(path: &str, src: &str) -> Vec<usize> {

@@ -10,6 +10,7 @@
 //! | **H1** | `H1.hot`, `H1.alloc` | hot-path: no `.slots()` expansion / per-unit baselines; no ledger construction in loops |
 //! | **F1** | `F1.cmp`, `F1.eq` | float hygiene: `total_cmp` over `partial_cmp(..).unwrap()`; no exact float equality in verdicts |
 //! | **U1** | `U1.mix`, `U1.bind`, `U1.conv` | unit hygiene: no cross-unit arithmetic/binding on suffix-tagged quantities; honest conversion calls |
+//! | **O1** | `O1.sink` | observability: obs emission arguments stay allocation-free (`&'static str` + `u64`), so a disabled sink is a true no-op |
 //! | **P2** | `P2.reach` | panic reachability: no *new* public API may transitively reach a P1 panic site (`p2_reach.txt` ratchet) |
 //!
 //! Plus **L1** for the allow mechanism itself: malformed/unknown/unused
@@ -139,13 +140,17 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 
 /// Per-crate rule policy. `compat` shims and `src/bin/` tool surfaces are
 /// not scanned at all; `bench` keeps wall-clock access; float-equality
-/// checks apply to the verdict-producing crates.
+/// checks apply to the verdict-producing crates. `obs` itself gets no
+/// exemption: the observability layer speaks logical time only, so
+/// D1.clock stays banned there, and O1.sink holds everywhere instrumented
+/// code emits into it.
 fn crate_policy(krate: &str) -> ScanPolicy {
     ScanPolicy {
         hash_iter: true,
         wall_clock: krate != "bench",
         float_eq: matches!(krate, "traffic" | "resilience" | "analysis"),
         units: true,
+        obs_sink: true,
     }
 }
 

@@ -31,6 +31,8 @@ pub enum RuleCode {
     U1Bind,
     /// Suffix-dishonest conversion call (`dbm_to_mw(-loss_db)`).
     U1Conv,
+    /// Allocation/formatting inside a `scream_obs` emission argument list.
+    O1Sink,
     /// Public API transitively reaches a panic site (ratchet growth).
     P2Reach,
     /// Malformed or unknown `lint:allow` directive.
@@ -52,6 +54,7 @@ impl RuleCode {
             RuleCode::U1Mix => "U1.mix",
             RuleCode::U1Bind => "U1.bind",
             RuleCode::U1Conv => "U1.conv",
+            RuleCode::O1Sink => "O1.sink",
             RuleCode::P2Reach => "P2.reach",
             RuleCode::L1Allow => "L1.allow",
             RuleCode::L1Unused => "L1.unused",
@@ -65,6 +68,7 @@ impl RuleCode {
             RuleCode::H1Hot | RuleCode::H1Alloc => "H1",
             RuleCode::F1Cmp | RuleCode::F1Eq => "F1",
             RuleCode::U1Mix | RuleCode::U1Bind | RuleCode::U1Conv => "U1",
+            RuleCode::O1Sink => "O1",
             RuleCode::P2Reach => "P2",
             RuleCode::L1Allow | RuleCode::L1Unused => "L1",
         }
@@ -94,6 +98,8 @@ impl RuleCode {
                 | "U1.mix"
                 | "U1.bind"
                 | "U1.conv"
+                | "O1"
+                | "O1.sink"
                 | "P2.reach"
         )
     }
@@ -130,6 +136,8 @@ pub struct ScanPolicy {
     pub float_eq: bool,
     /// U1 — unit-suffix hygiene (all crates).
     pub units: bool,
+    /// O1.sink — obs emission must stay allocation-free (all crates).
+    pub obs_sink: bool,
 }
 
 const HASH_ITER_METHODS: &[&str] = &[
@@ -152,6 +160,19 @@ const ACCUMULATOR_OPENERS: &[&str] = &[
 ];
 
 const LEDGER_TYPES: &[&str] = &["SlotLedger", "ChannelSlotLedger"];
+
+/// The `scream-obs` emission surface: free functions whose arguments must
+/// stay allocation-free (`&'static str` names, `u64` values) so a disabled
+/// sink really is a no-op (O1.sink).
+const OBS_EMISSION_FNS: &[&str] = &[
+    "counter_add",
+    "gauge_set",
+    "observe",
+    "event",
+    "set_slot",
+    "set_round",
+    "set_epoch",
+];
 
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Tok {
@@ -579,6 +600,80 @@ pub fn scan_file(path: &str, src: &str, policy: ScanPolicy) -> FileScan {
                         );
                     }
                 }
+                // O1.sink — allocation inside an obs emission argument list
+                // (`scream_obs::event(&format!(..), ..)` and friends). The
+                // sink API takes `&'static str` names and `u64` values so a
+                // disabled sink allocates nothing; building strings or
+                // vectors at the call site defeats that.
+                if policy.obs_sink
+                    && (id == "scream_obs" || id == "obs")
+                    && punct_at(&toks, i + 1, ':')
+                    && punct_at(&toks, i + 2, ':')
+                    && ident_at(&toks, i + 3).is_some_and(|f| OBS_EMISSION_FNS.contains(&f))
+                    && punct_at(&toks, i + 4, '(')
+                {
+                    let mut depth = 0i32;
+                    let mut k = i + 4;
+                    while k < toks.len() {
+                        match &toks[k].tok {
+                            Tok::Punct('(') => depth += 1,
+                            Tok::Punct(')') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            Tok::Ident(a)
+                                if (a == "format" || a == "vec") && punct_at(&toks, k + 1, '!') =>
+                            {
+                                push(
+                                    &mut diags,
+                                    RuleCode::O1Sink,
+                                    toks[k].line,
+                                    format!(
+                                        "`{a}!` inside an obs emission argument allocates even \
+                                         when the sink is disabled; emit `&'static str` names \
+                                         and `u64` values only"
+                                    ),
+                                );
+                            }
+                            Tok::Ident(a)
+                                if a == "String"
+                                    && punct_at(&toks, k + 1, ':')
+                                    && punct_at(&toks, k + 2, ':') =>
+                            {
+                                push(
+                                    &mut diags,
+                                    RuleCode::O1Sink,
+                                    toks[k].line,
+                                    "`String::` construction inside an obs emission argument \
+                                     allocates even when the sink is disabled; emit `&'static \
+                                     str` names and `u64` values only"
+                                        .to_string(),
+                                );
+                            }
+                            Tok::Punct('.')
+                                if ident_at(&toks, k + 1).is_some_and(|m| {
+                                    m == "to_string" || m == "to_owned" || m == "to_vec"
+                                }) && punct_at(&toks, k + 2, '(') =>
+                            {
+                                push(
+                                    &mut diags,
+                                    RuleCode::O1Sink,
+                                    toks[k + 1].line,
+                                    format!(
+                                        "`.{}()` inside an obs emission argument allocates even \
+                                         when the sink is disabled; emit `&'static str` names \
+                                         and `u64` values only",
+                                        ident_at(&toks, k + 1).unwrap_or("to_string")
+                                    ),
+                                );
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
                 // P1 — macro panics.
                 if matches!(
                     id.as_str(),
@@ -906,6 +1001,7 @@ mod tests {
         wall_clock: true,
         float_eq: true,
         units: true,
+        obs_sink: true,
     };
 
     fn codes(src: &str) -> Vec<&'static str> {
@@ -1271,5 +1367,91 @@ fn g(x: Option<u32>) -> u32 {
         let c = codes(src);
         assert!(c.contains(&"P1.panic"), "{c:?}");
         assert!(c.contains(&"L1.unused"), "{c:?}");
+    }
+
+    // ---- O1.sink ----
+
+    #[test]
+    fn o1_flags_format_in_emission_args() {
+        let src = r#"
+fn f(link: u32) {
+    scream_obs::event(&format!("link.{link}"), &[]);
+}
+"#;
+        assert_eq!(codes(src), vec!["O1.sink"]);
+    }
+
+    #[test]
+    fn o1_flags_to_string_and_string_from() {
+        let src = r#"
+fn f(n: u64) {
+    scream_obs::counter_add(name.to_string(), 1);
+    obs::gauge_set(String::from("fill"), n);
+}
+"#;
+        assert_eq!(codes(src), vec!["O1.sink", "O1.sink"]);
+    }
+
+    #[test]
+    fn o1_flags_vec_macro_in_event_fields() {
+        let src = r#"
+fn f() {
+    scream_obs::event("greedy.link", &vec![("head", 1u64)]);
+}
+"#;
+        assert_eq!(codes(src), vec!["O1.sink"]);
+    }
+
+    #[test]
+    fn o1_ignores_static_emission() {
+        let src = r#"
+fn f(rejects: u64) {
+    scream_obs::counter_add("ledger.probe.reject", rejects);
+    scream_obs::observe("greedy.firstfit.depth", rejects.saturating_add(1));
+    scream_obs::event("greedy.link", &[("rejects", rejects)]);
+}
+"#;
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn o1_ignores_allocation_outside_emission() {
+        let src = r#"
+fn f(rejects: u64) -> String {
+    scream_obs::counter_add("x", rejects);
+    format!("{rejects} rejects")
+}
+"#;
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn o1_ignores_test_code_and_respects_policy() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        scream_obs::event(&format!("free-form"), &[]);
+    }
+}
+"#;
+        assert!(codes(src).is_empty());
+        let src = "fn f() { scream_obs::event(&format!(\"x\"), &[]); }";
+        let p = ScanPolicy {
+            obs_sink: false,
+            ..ALL
+        };
+        assert!(scan_source("crates/x/src/lib.rs", src, p).is_empty());
+    }
+
+    #[test]
+    fn o1_is_allow_suppressible() {
+        let src = r#"
+fn f() {
+    scream_obs::event(&format!("x"), &[]) // lint:allow(O1.sink, reason = "cold path")
+}
+"#;
+        assert!(codes(src).is_empty());
     }
 }

@@ -525,6 +525,7 @@ mod tests {
         wall_clock: false,
         float_eq: false,
         units: true,
+        obs_sink: false,
     };
 
     fn codes(src: &str) -> Vec<&'static str> {

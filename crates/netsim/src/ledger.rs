@@ -396,16 +396,25 @@ impl<'a> SlotLedger<'a> {
     /// default (pruned) ledger O(nearby) instead of O(k), with a verdict
     /// identical to the exact computation (see the [module docs](self)).
     pub fn can_add(&self, candidate: Link) -> bool {
-        if candidate.head == candidate.tail {
+        scream_obs::next_probe();
+        if candidate.head == candidate.tail || !self.endpoints_free(candidate) {
+            scream_obs::counter_add("ledger.probe.reject", 1);
+            scream_obs::counter_add("ledger.probe.reject_endpoint", 1);
             return false;
         }
-        if !self.endpoints_free(candidate) {
-            return false;
-        }
-        match &self.pruning {
+        let verdict = match &self.pruning {
             Some(p) if !self.links.is_empty() => self.can_add_pruned(p, candidate),
             _ => self.candidate_handshake_exact(candidate) && self.existing_ok_exact(candidate),
-        }
+        };
+        scream_obs::counter_add(
+            if verdict {
+                "ledger.probe.accept"
+            } else {
+                "ledger.probe.reject"
+            },
+            1,
+        );
+        verdict
     }
 
     /// The candidate's own two-way handshake against the accumulated slot,
@@ -480,6 +489,7 @@ impl<'a> SlotLedger<'a> {
             data_signal,
             far_links_surely_ok,
         ) else {
+            scream_obs::counter_add("ledger.prune.scan_reject", 1);
             return false;
         };
         // Scan B — disc around the candidate's head: in-disc *tails* feed
@@ -492,6 +502,7 @@ impl<'a> SlotLedger<'a> {
             ack_signal,
             far_links_surely_ok,
         ) else {
+            scream_obs::counter_add("ledger.prune.scan_reject", 1);
             return false;
         };
 
@@ -501,8 +512,10 @@ impl<'a> SlotLedger<'a> {
         let candidate_ok = if self.surely_meets_beta(data_signal, data_upper)
             && self.surely_meets_beta(ack_signal, ack_upper)
         {
+            scream_obs::counter_add("ledger.farfield.accept", 1);
             true
         } else {
+            scream_obs::counter_add("ledger.exact.fallback", 1);
             self.candidate_handshake_exact(candidate)
         };
         if !candidate_ok {
@@ -511,7 +524,13 @@ impl<'a> SlotLedger<'a> {
         // Nearby links were re-checked during the scans (a failure returned
         // early); far links are pre-cleared by the headroom screen, or the
         // whole set is re-checked exactly.
-        far_links_surely_ok || self.existing_ok_exact(candidate)
+        if far_links_surely_ok {
+            scream_obs::counter_add("ledger.farfield.skip_existing", 1);
+            true
+        } else {
+            scream_obs::counter_add("ledger.exact.fallback_existing", 1);
+            self.existing_ok_exact(candidate)
+        }
     }
 
     /// Ring-scans the bucket index over the cutoff disc at `center`,
@@ -535,6 +554,7 @@ impl<'a> SlotLedger<'a> {
         let near_sum = Cell::new(0.0f64);
         let near_count = Cell::new(0usize);
         let link_failed = Cell::new(false);
+        let scanned_entries = Cell::new(0u64);
         rect.visit_rings(
             geometry.cell_of(center),
             |cx, cy| {
@@ -542,6 +562,7 @@ impl<'a> SlotLedger<'a> {
                     return;
                 }
                 for &entry in p.buckets.entries(geometry.cell_index(cx, cy)) {
+                    scanned_entries.set(scanned_entries.get() + 1);
                     if entry_is_head(entry) != want_head {
                         continue;
                     }
@@ -589,6 +610,7 @@ impl<'a> SlotLedger<'a> {
             },
             || link_failed.get() || self.surely_fails_beta(signal_mw, near_sum.get()),
         );
+        scream_obs::observe("ledger.scan.entries", scanned_entries.get());
         if link_failed.get() || self.surely_fails_beta(signal_mw, near_sum.get()) {
             return None;
         }
@@ -968,6 +990,7 @@ impl<'a> ChannelSlotLedger<'a> {
         let ledger = &self.channels[channel.index()];
         for node in [candidate.head, candidate.tail] {
             if self.node_uses[node.index()] > ledger.endpoint_uses[node.index()] {
+                scream_obs::counter_add("ledger.channel.reject_radio", 1);
                 return false;
             }
         }

@@ -149,6 +149,46 @@ mod tests {
         );
     }
 
+    /// Regression: delivery percentages used to exceed 100 when an epoch
+    /// drained backlog carried in from earlier epochs (packets delivered on
+    /// top of the epoch's own injections were divided by the epoch's
+    /// injections alone). The denominator now counts that carry-in, so
+    /// every ratio is mathematically <= 100.
+    #[test]
+    fn delivery_percentages_never_exceed_one_hundred() {
+        let (env, gateways, demands) = grid_world();
+        let dead = busiest_uplink(&env, &gateways, 7);
+        let h = ResilienceHarness::new(env, gateways, demands, 0.8);
+        let probe = h.run(&ChurnTrace::default(), 1, 7).unwrap();
+        let f0 = probe.frame_slots_initial;
+        let trace = FaultPlan::new().link_down(dead, 10 * f0).build();
+        let report = h.run(&trace, 40 * f0, 7).unwrap();
+        assert!(
+            report
+                .epochs
+                .iter()
+                .any(|e| e.delivered > e.injected && e.backlog_start > 0),
+            "some epoch must drain carried-in backlog (the old >100% \
+             trigger), or this test exercises nothing"
+        );
+        for e in &report.epochs {
+            assert!(
+                (0.0..=100.0).contains(&e.delivery_pct),
+                "epoch {} delivery {}% out of range",
+                e.epoch,
+                e.delivery_pct
+            );
+            assert!(
+                e.delivered <= e.injected + e.backlog_start,
+                "epoch {} delivered more than was deliverable",
+                e.epoch
+            );
+        }
+        assert!((0.0..=100.0).contains(&report.outage_delivery_pct));
+        assert!((0.0..=100.0).contains(&report.post_recovery_delivery_pct));
+        assert!((0.0..=100.0).contains(&report.delivery_pct()));
+    }
+
     #[test]
     fn a_node_outage_and_return_round_trips() {
         let (env, gateways, demands) = grid_world();

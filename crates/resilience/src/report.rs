@@ -21,10 +21,16 @@ pub struct EpochMetrics {
     pub delivered: u64,
     /// Packets dropped during the epoch (lost routes, unrescuable strands).
     pub dropped: u64,
+    /// In-flight packets when the epoch started (the previous epoch's
+    /// `backlog_end`; 0 for epoch 0).
+    pub backlog_start: u64,
     /// In-flight packets when the epoch ended.
     pub backlog_end: u64,
-    /// `100 · delivered / injected` for the epoch (100 when idle; above 100
-    /// while a backlog drains).
+    /// `100 · delivered / (injected + backlog_start)` for the epoch (100
+    /// when nothing was deliverable). Every delivered packet was injected
+    /// this epoch or carried in, so the value is mathematically <= 100 —
+    /// a draining backlog shows up as *later* epochs delivering their
+    /// carry-in, not as ratios above 100.
     pub delivery_pct: f64,
     /// Whether the analytic verdict at the epoch end was Stable.
     pub stable: bool,

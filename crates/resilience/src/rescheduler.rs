@@ -195,7 +195,7 @@ impl ResilienceHarness {
             .iter()
             .filter(|e| e.slot < horizon_slots)
             .peekable();
-        let mut epoch = EpochAccumulator::new(0);
+        let mut epoch = EpochAccumulator::new(0, state.session.totals().in_flight);
         let mut epochs: Vec<EpochMetrics> = Vec::new();
         let mut now = 0u64;
         while now < horizon_slots {
@@ -203,6 +203,7 @@ impl ResilienceHarness {
             while events.peek().map(|e| e.slot <= now).unwrap_or(false) {
                 let event = events.next().expect("peeked");
                 state.apply_fault(event.kind);
+                scream_obs::counter_add("resilience.faults", 1);
                 faulted = true;
             }
             if faulted {
@@ -221,8 +222,20 @@ impl ResilienceHarness {
             epoch.add(&segment);
             now = target;
             if now.is_multiple_of(epoch_slots) || now == horizon_slots {
-                epochs.push(epoch.flush(&state, now, epoch_slots));
-                epoch = EpochAccumulator::new(now);
+                let metrics = epoch.flush(&state, now, epoch_slots);
+                scream_obs::set_epoch(metrics.epoch);
+                scream_obs::counter_add("resilience.epochs", 1);
+                scream_obs::event(
+                    "resilience.epoch",
+                    &[
+                        ("injected", metrics.injected),
+                        ("delivered", metrics.delivered),
+                        ("dropped", metrics.dropped),
+                        ("backlog", metrics.backlog_end),
+                    ],
+                );
+                epochs.push(metrics);
+                epoch = EpochAccumulator::new(now, state.session.totals().in_flight);
             }
         }
 
@@ -233,15 +246,21 @@ impl ResilienceHarness {
 /// Running per-epoch counters between flushes.
 struct EpochAccumulator {
     start_slot: u64,
+    /// Packets in flight when the epoch opened. Delivered packets either
+    /// arrived this epoch or were part of this carry-in, so
+    /// `delivered <= injected + backlog_start` and the delivery percentage
+    /// is mathematically <= 100.
+    backlog_start: u64,
     injected: u64,
     delivered: u64,
     dropped: u64,
 }
 
 impl EpochAccumulator {
-    fn new(start_slot: u64) -> Self {
+    fn new(start_slot: u64, backlog_start: u64) -> Self {
         Self {
             start_slot,
+            backlog_start,
             injected: 0,
             delivered: 0,
             dropped: 0,
@@ -255,10 +274,16 @@ impl EpochAccumulator {
     }
 
     fn flush(&self, state: &RunState, end_slot: u64, epoch_slots: u64) -> EpochMetrics {
-        let delivery_pct = if self.injected == 0 {
+        // Delivered packets are charged against what could possibly be
+        // delivered this epoch: fresh injections plus the carried-in
+        // backlog. Charging injections alone over-counts while a backlog
+        // drains (the pre-fix committed recovery_post_delivery_pct of
+        // 100.4 was exactly that artifact).
+        let deliverable = self.injected + self.backlog_start;
+        let delivery_pct = if deliverable == 0 {
             100.0
         } else {
-            self.delivered as f64 / self.injected as f64 * 100.0
+            self.delivered as f64 / deliverable as f64 * 100.0
         };
         let (_, verdict) = state.session.analytic_loads();
         EpochMetrics {
@@ -268,6 +293,7 @@ impl EpochAccumulator {
             injected: self.injected,
             delivered: self.delivered,
             dropped: self.dropped,
+            backlog_start: self.backlog_start,
             backlog_end: state.session.totals().in_flight,
             delivery_pct,
             stable: verdict.is_stable(),
@@ -425,6 +451,7 @@ impl RunState {
     /// Reroutes demands around the current fault state, repairs the frame
     /// and swaps both into the live session.
     fn reschedule(&mut self, slot: u64) -> Result<(), ResilienceError> {
+        scream_obs::counter_add("resilience.reschedules", 1);
         let (forest, cut) = RoutingForest::shortest_path_partial(
             &self.pruned_graph(),
             &self.gateways,
@@ -578,14 +605,26 @@ impl RunState {
         };
 
         let window_pct = |from: u64, to: u64| {
-            let (injected, delivered) = epochs
+            // Deliveries over a window are bounded by the window's
+            // injections plus the backlog carried into its first epoch
+            // (epoch backlogs chain: one epoch's backlog_end is the next
+            // one's backlog_start), so the ratio is mathematically <= 100.
+            let mut injected = 0u64;
+            let mut delivered = 0u64;
+            let mut backlog_in: Option<u64> = None;
+            for e in epochs
                 .iter()
                 .filter(|e| e.end_slot > from && e.start_slot < to)
-                .fold((0u64, 0u64), |(i, d), e| (i + e.injected, d + e.delivered));
-            if injected == 0 {
+            {
+                backlog_in.get_or_insert(e.backlog_start);
+                injected += e.injected;
+                delivered += e.delivered;
+            }
+            let deliverable = injected + backlog_in.unwrap_or(0);
+            if deliverable == 0 {
                 100.0
             } else {
-                delivered as f64 / injected as f64 * 100.0
+                delivered as f64 / deliverable as f64 * 100.0
             }
         };
         let (outage_delivery_pct, post_recovery_delivery_pct) = match first_fault_slot {

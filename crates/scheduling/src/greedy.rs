@@ -163,12 +163,22 @@ impl GreedyPhysical {
         for (link, demand) in edges {
             let mut remaining = demand;
             let mut idx = 0usize;
+            // Per-link probe profile, flushed to the obs sink after the scan
+            // (plain u64 locals — free when no sink is installed).
+            let mut probed_runs: u64 = 0;
+            let mut rejected_runs: u64 = 0;
+            let mut first_fit_depth: Option<u64> = None;
             'slots: while remaining > 0 && idx < runs.len() {
                 let run = &mut runs[idx];
                 if !run.accumulator.contains_link(link) {
                     for &channel in &channels {
+                        probed_runs += 1;
                         if !run.accumulator.can_add(channel, link) {
+                            rejected_runs += 1;
                             continue;
+                        }
+                        if first_fit_depth.is_none() {
+                            first_fit_depth = Some(idx as u64);
                         }
                         if remaining >= run.count {
                             // The link joins every slot of the run.
@@ -189,11 +199,31 @@ impl GreedyPhysical {
                             },
                         );
                         remaining = 0;
+                        scream_obs::counter_add("greedy.splits", 1);
                         break 'slots;
                     }
                 }
                 idx += 1;
             }
+            scream_obs::counter_add("greedy.links", 1);
+            scream_obs::counter_add("greedy.runs.probed", probed_runs);
+            scream_obs::counter_add("greedy.runs.rejected", rejected_runs);
+            if remaining > 0 {
+                scream_obs::counter_add("greedy.solo_runs", 1);
+            }
+            scream_obs::observe(
+                "greedy.firstfit.depth",
+                first_fit_depth.unwrap_or(runs.len() as u64),
+            );
+            scream_obs::event(
+                "greedy.link",
+                &[
+                    ("head", link.head.index() as u64),
+                    ("tail", link.tail.index() as u64),
+                    ("probed", probed_runs),
+                    ("rejected", rejected_runs),
+                ],
+            );
             if remaining > 0 {
                 // No existing (slot, channel) pair accepts the leftover
                 // demand: append it as one solo run on the first channel. A
@@ -211,13 +241,17 @@ impl GreedyPhysical {
                 });
             }
         }
-        Schedule::from_pattern_runs(runs.into_iter().map(|run| {
+        let schedule = Schedule::from_pattern_runs(runs.into_iter().map(|run| {
             let entries: Vec<(ChannelId, Link)> = channels
                 .iter()
                 .flat_map(|&c| run.accumulator.links(c).iter().map(move |&l| (c, l)))
                 .collect();
             (SlotPattern::from_entries(entries), run.count)
-        }))
+        }));
+        scream_obs::gauge_set("greedy.schedule.length", schedule.length() as u64);
+        scream_obs::gauge_set("greedy.schedule.patterns", schedule.pattern_count() as u64);
+        scream_obs::set_slot(schedule.length() as u64);
+        schedule
     }
 
     /// The seed's per-unit first-fit loop: every unit of demand is placed by

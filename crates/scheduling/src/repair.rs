@@ -176,11 +176,16 @@ pub fn repair_schedule<M: SlotFeasibility>(
     for (link, demand) in deficits {
         let mut remaining = demand;
         let mut idx = 0usize;
+        // Refill probe profile, flushed to the obs sink after the scan.
+        let mut probed_runs: u64 = 0;
+        let mut rejected_runs: u64 = 0;
         'slots: while remaining > 0 && idx < open_runs.len() {
             let run = &mut open_runs[idx];
             if !run.accumulator.contains_link(link) {
                 for &channel in &channels {
+                    probed_runs += 1;
                     if !run.accumulator.can_add(channel, link) {
+                        rejected_runs += 1;
                         continue;
                     }
                     if remaining >= run.count {
@@ -212,7 +217,11 @@ pub fn repair_schedule<M: SlotFeasibility>(
             }
             idx += 1;
         }
+        scream_obs::counter_add("repair.refill.links", 1);
+        scream_obs::counter_add("repair.runs.probed", probed_runs);
+        scream_obs::counter_add("repair.runs.rejected", rejected_runs);
         if remaining > 0 {
+            scream_obs::counter_add("repair.refill.solo_runs", 1);
             // lint:allow(H1.alloc, reason = "one solo-run accumulator per leftover deficit link, not per probe")
             let mut accumulator = model.open_channel_slot();
             accumulator.assign(ChannelId::ZERO, link);
@@ -231,7 +240,12 @@ pub fn repair_schedule<M: SlotFeasibility>(
         (SlotPattern::from_entries(entries), run.count)
     }));
 
+    scream_obs::counter_add("repair.stripped_allocation", removed);
+    scream_obs::counter_add("repair.added_allocation", added);
+    scream_obs::event("repair.patch", &[("removed", removed), ("added", added)]);
+
     if verify_schedule(model, &repaired, target).is_ok() {
+        scream_obs::counter_add("repair.outcome.incremental", 1);
         return RepairedSchedule {
             schedule: repaired,
             outcome: RepairOutcome::Incremental,
@@ -239,6 +253,7 @@ pub fn repair_schedule<M: SlotFeasibility>(
             added_allocation: added,
         };
     }
+    scream_obs::counter_add("repair.outcome.rebuilt", 1);
     RepairedSchedule {
         schedule: GreedyPhysical::paper_baseline().schedule(model, target),
         outcome: RepairOutcome::Rebuilt,

@@ -307,6 +307,7 @@ impl TrafficSession {
     pub fn fail_link(&mut self, link: Link) {
         let idx = self.link_idx(link);
         self.queues[idx as usize].dead = true;
+        scream_obs::counter_add("traffic.link_failures", 1);
     }
 
     /// Brings a failed link back into service.
@@ -336,6 +337,7 @@ impl TrafficSession {
         for queue in &mut self.queues {
             queue.cursor = None;
         }
+        scream_obs::counter_add("traffic.frame_swaps", 1);
         Ok(())
     }
 
@@ -421,6 +423,8 @@ impl TrafficSession {
         }
         self.totals.rescued += rescued;
         self.totals.dropped += dropped;
+        scream_obs::counter_add("traffic.rescued", rescued);
+        scream_obs::counter_add("traffic.rescue_dropped", dropped);
         (rescued, dropped)
     }
 
@@ -655,6 +659,20 @@ impl TrafficSession {
         self.now_slot = end_slot;
         segment.backlog_end = self.totals.in_flight;
         finalize_segment_delay(&mut segment);
+        scream_obs::set_slot(end_slot);
+        scream_obs::counter_add("traffic.injected", segment.injected);
+        scream_obs::counter_add("traffic.delivered", segment.delivered);
+        scream_obs::counter_add("traffic.dropped", segment.dropped);
+        scream_obs::gauge_set("traffic.backlog", segment.backlog_end);
+        scream_obs::event(
+            "traffic.segment",
+            &[
+                ("injected", segment.injected),
+                ("delivered", segment.delivered),
+                ("dropped", segment.dropped),
+                ("backlog", segment.backlog_end),
+            ],
+        );
         segment
     }
 }

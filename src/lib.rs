@@ -104,6 +104,12 @@ pub mod analysis {
     pub use scream_analysis::*;
 }
 
+/// Deterministic observability: the slot-clock metrics registry, trace ring
+/// and no-op-able emission sink (`scream-obs`).
+pub mod obs {
+    pub use scream_obs::*;
+}
+
 /// One-stop import of the most commonly used items across all crates.
 pub mod prelude {
     pub use scream_core::prelude::*;
